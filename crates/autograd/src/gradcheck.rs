@@ -1,0 +1,109 @@
+//! Finite-difference gradient checking used throughout the workspace tests.
+
+use crate::{Tape, Var};
+use miss_tensor::Tensor;
+
+/// Verify analytic gradients of `build` (a function assembling a scalar loss
+/// from leaf inputs) against central finite differences.
+///
+/// f32 finite differences are inherently noisy, so comparisons use a combined
+/// absolute/relative tolerance: a mismatch is flagged only when
+/// `|analytic − numeric| > tol · max(1, |analytic|, |numeric|)` with a fixed
+/// perturbation `eps = 1e-2` (large enough to dominate f32 rounding at the
+/// magnitudes our tests use).
+///
+/// Panics with a descriptive message on the first mismatch.
+pub fn check(inputs: &[Tensor], build: impl Fn(&mut Tape, &[Var]) -> Var, tol: f32) {
+    let eps = 1e-2f32;
+
+    // Analytic gradients.
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let loss = build(&mut tape, &vars);
+    assert_eq!(tape.shape(loss), (1, 1), "gradcheck loss must be scalar");
+    let grads = tape.backward(loss);
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let mut tape = Tape::new();
+        let vars: Vec<Var> = perturbed.iter().map(|t| tape.leaf(t.clone())).collect();
+        let loss = build(&mut tape, &vars);
+        tape.value(loss).item()
+    };
+
+    for (i, input) in inputs.iter().enumerate() {
+        let analytic = grads
+            .get(vars[i])
+            .unwrap_or_else(|| panic!("input {i} received no gradient"));
+        for e in 0..input.len() {
+            let mut plus: Vec<Tensor> = inputs.to_vec();
+            plus[i].as_mut_slice()[e] += eps;
+            let mut minus: Vec<Tensor> = inputs.to_vec();
+            minus[i].as_mut_slice()[e] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic.as_slice()[e];
+            let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+            assert!(
+                (a - numeric).abs() <= tol * denom,
+                "gradient mismatch at input {i} element {e}: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+}
+
+/// Convenience wrapper for binary elementwise ops: checks gradients of
+/// `sum(op(a, b)^2)` on fixed smooth inputs.
+pub fn check_unary_pair(op: impl Fn(&mut Tape, Var, Var) -> Var) {
+    let a = Tensor::from_fn(3, 4, |r, c| 0.4 * (r as f32) - 0.25 * (c as f32) + 0.3);
+    let b = Tensor::from_fn(3, 4, |r, c| 0.15 * (r as f32) + 0.35 * (c as f32) - 0.5);
+    check(
+        &[a, b],
+        |t, vs| {
+            let y = op(t, vs[0], vs[1]);
+            let sq = t.mul(y, y);
+            t.sum_all(sq)
+        },
+        5e-2,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradcheck_passes_on_correct_composite() {
+        let x = Tensor::from_fn(2, 3, |r, c| 0.3 * (r as f32) - 0.2 * (c as f32) + 0.1);
+        check(
+            &[x],
+            |t, vs| {
+                let s = t.sigmoid(vs[0]);
+                let h = t.tanh(s);
+                t.mean_all(h)
+            },
+            5e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn gradcheck_catches_wrong_gradient() {
+        // scale's backward is exact; compare against a deliberately wrong
+        // "loss" whose analytic gradient differs: we fake it by building a
+        // function whose value depends on input through a non-differentiable
+        // detour (constant re-insertion), making analytic grad zero while the
+        // numeric one is not.
+        let x = Tensor::from_fn(2, 2, |r, c| 0.5 * (r as f32) + 0.25 * (c as f32) + 0.3);
+        check(
+            &[x],
+            |t, vs| {
+                // loss = sum(x ⊙ stop_grad(x)): analytic gradient sees only
+                // one factor (x), numeric sees d/dx sum(x²) = 2x.
+                let detached = t.value(vs[0]).clone();
+                let c = t.constant(detached);
+                let prod = t.mul(vs[0], c);
+                t.sum_all(prod)
+            },
+            5e-2,
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Composite loss heads implemented as fused ops for numerical stability.
+
+use crate::tape::{Tape, Var};
+use miss_tensor::Tensor;
+
+impl Tape {
+    /// Mean binary cross-entropy over logits (Eq. 7 of the paper, fused with
+    /// the sigmoid for stability): `mean(max(z,0) − y·z + ln(1+e^{−|z|}))`.
+    /// `labels` is plain data (`B×1` of 0/1), not a tape value.
+    pub fn bce_with_logits_mean(&mut self, logits: Var, labels: Tensor) -> Var {
+        let (b, c) = self.shape(logits);
+        assert_eq!(c, 1, "logits must be B×1");
+        assert_eq!(labels.shape(), (b, 1), "labels must match logits");
+        let z = self.value(logits);
+        let mut total = 0.0f32;
+        for (&zv, &yv) in z.as_slice().iter().zip(labels.as_slice()) {
+            total += zv.max(0.0) - yv * zv + (-zv.abs()).exp().ln_1p();
+        }
+        let value = Tensor::scalar(total / b as f32);
+        self.push_op(&[logits], value, move |g, vals, ctx| {
+            let z = &vals[logits.0];
+            let scale = g.item() / b as f32;
+            let dz = Tensor::from_vec(
+                b,
+                1,
+                z.as_slice()
+                    .iter()
+                    .zip(labels.as_slice())
+                    .map(|(&zv, &yv)| (1.0 / (1.0 + (-zv).exp()) - yv) * scale)
+                    .collect(),
+            );
+            ctx.accum(logits, dz);
+        })
+    }
+
+    /// InfoNCE loss (Eq. 15/16) over two view batches `z1, z2` of shape
+    /// `B×d`: positives are matching rows, negatives are all other rows of
+    /// `z2` within the batch; similarity is cosine scaled by `1/τ`.
+    ///
+    /// Built from existing differentiable ops, so no bespoke backward is
+    /// needed; returns the `1×1` mean loss.
+    pub fn info_nce(&mut self, z1: Var, z2: Var, tau: f32) -> Var {
+        let (b1, _) = self.shape(z1);
+        let (b2, _) = self.shape(z2);
+        assert_eq!(b1, b2, "view batches must match");
+        let n1 = self.l2_normalize_rows(z1, 1e-8);
+        let n2 = self.l2_normalize_rows(z2, 1e-8);
+        let sims = self.matmul_nt(n1, n2); // B×B cosine similarities
+        let scaled = self.scale(sims, 1.0 / tau);
+        let pos = self.diag(scaled); // B×1
+        let lse = self.logsumexp_rows(scaled); // B×1
+        let diff = self.sub(lse, pos);
+        self.mean_all(diff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gradcheck::check;
+    use crate::Tape;
+    use miss_tensor::Tensor;
+
+    #[test]
+    fn bce_matches_naive() {
+        let mut t = Tape::new();
+        let logits = t.constant(Tensor::from_vec(3, 1, vec![0.5, -1.2, 2.0]));
+        let labels = Tensor::from_vec(3, 1, vec![1.0, 0.0, 1.0]);
+        let loss = t.bce_with_logits_mean(logits, labels.clone());
+        let naive: f32 = [0.5f32, -1.2, 2.0]
+            .iter()
+            .zip(labels.as_slice())
+            .map(|(&z, &y)| {
+                let p = 1.0 / (1.0 + (-z).exp());
+                -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+            })
+            .sum::<f32>()
+            / 3.0;
+        assert!((t.value(loss).item() - naive).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_bce() {
+        let logits = Tensor::from_vec(4, 1, vec![0.3, -0.7, 1.5, -2.0]);
+        let labels = Tensor::from_vec(4, 1, vec![1.0, 0.0, 0.0, 1.0]);
+        check(
+            &[logits],
+            move |t, vs| t.bce_with_logits_mean(vs[0], labels.clone()),
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn grad_info_nce() {
+        let z1 = Tensor::from_fn(3, 4, |i, j| 0.4 * (i as f32) - 0.3 * (j as f32) + 0.2);
+        let z2 = Tensor::from_fn(3, 4, |i, j| 0.1 * (i as f32) + 0.25 * (j as f32) - 0.3);
+        check(
+            &[z1, z2],
+            |t, vs| t.info_nce(vs[0], vs[1], 0.5),
+            6e-2,
+        );
+    }
+
+    #[test]
+    fn info_nce_prefers_aligned_views() {
+        // identical views => positives maximal => lower loss than shuffled views
+        let mut t = Tape::new();
+        let z = Tensor::from_fn(4, 6, |i, j| ((i * 7 + j * 3) % 5) as f32 - 2.0);
+        let a = t.constant(z.clone());
+        let b = t.constant(z.clone());
+        let aligned = t.info_nce(a, b, 0.1);
+        let shuffled_rows: Vec<usize> = vec![1, 2, 3, 0];
+        let zs = z.gather_rows(&shuffled_rows);
+        let c = t.constant(z);
+        let d = t.constant(zs);
+        let misaligned = t.info_nce(c, d, 0.1);
+        assert!(t.value(aligned).item() < t.value(misaligned).item());
+    }
+
+    #[test]
+    fn info_nce_at_uniformity_is_ln_b() {
+        // all views identical across the batch => every similarity equals 1
+        // => loss = ln(B)
+        let mut t = Tape::new();
+        let z = Tensor::full(5, 3, 1.0);
+        let a = t.constant(z.clone());
+        let b = t.constant(z);
+        let loss = t.info_nce(a, b, 1.0);
+        assert!((t.value(loss).item() - (5f32).ln()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,39 @@
+//! Data-pipeline throughput: world generation, batch assembly, and metric
+//! computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use miss_data::{Batch, Dataset, Sample, WorldConfig};
+use miss_metrics::{auc, logloss};
+use miss_util::Rng;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_pipeline");
+    group.sample_size(10);
+
+    group.bench_function("generate_tiny_world_dataset", |b| {
+        b.iter(|| black_box(Dataset::generate(WorldConfig::tiny(), 3)))
+    });
+
+    let dataset = Dataset::generate(WorldConfig::tiny(), 5);
+    let refs: Vec<&Sample> = dataset.train.iter().take(128).collect();
+    group.bench_function("assemble_batch_128", |b| {
+        b.iter(|| black_box(Batch::from_samples(&refs, &dataset.schema)))
+    });
+
+    let mut rng = Rng::new(9);
+    let scores: Vec<f32> = (0..10_000).map(|_| rng.f32()).collect();
+    let labels: Vec<f32> = (0..10_000)
+        .map(|_| if rng.bool(0.5) { 1.0 } else { 0.0 })
+        .collect();
+    group.bench_function("auc_10k", |b| {
+        b.iter(|| black_box(auc(&scores, &labels)))
+    });
+    group.bench_function("logloss_10k", |b| {
+        b.iter(|| black_box(logloss(&scores, &labels)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the dense kernels every model is built from.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use miss_tensor::Tensor;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+
+    // The paper's shapes: batch 128, L = 30, K = 10, MLP width 40.
+    let a = Tensor::from_fn(128, 40, |i, j| (i as f32 * 0.01 - j as f32 * 0.02).sin());
+    let b = Tensor::from_fn(40, 40, |i, j| ((i + j) as f32 * 0.03).cos());
+    group.bench_function("matmul_128x40x40", |bch| {
+        bch.iter(|| black_box(a.matmul_nn(&b)))
+    });
+
+    let seq = Tensor::from_fn(128 * 30, 10, |i, j| ((i * 7 + j) % 13) as f32 * 0.1);
+    let cand = Tensor::from_fn(128, 10, |i, j| ((i + j) % 5) as f32 * 0.2);
+    group.bench_function("bmm_nt_attention_scores", |bch| {
+        bch.iter(|| black_box(seq.bmm_nt(&cand, 128)))
+    });
+
+    let weights = Tensor::from_fn(128, 30, |_, j| 1.0 / (j + 1) as f32);
+    group.bench_function("bmm_nn_weighted_pool", |bch| {
+        bch.iter(|| black_box(weights.bmm_nn(&seq, 128)))
+    });
+
+    let scores = Tensor::from_fn(128, 30, |i, j| ((i * j) % 17) as f32 * 0.3 - 2.0);
+    group.bench_function("row_softmax_128x30", |bch| {
+        bch.iter(|| black_box(scores.row_softmax()))
+    });
+
+    group.bench_function("row_logsumexp_128x30", |bch| {
+        bch.iter(|| black_box(scores.row_logsumexp()))
+    });
+
+    let idx: Vec<usize> = (0..128 * 28).map(|i| (i * 13) % (128 * 30)).collect();
+    group.bench_function("gather_rows_conv_shift", |bch| {
+        bch.iter(|| black_box(seq.gather_rows(&idx)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Per-training-step latency of the main models, and the overhead the MISS
+//! plug-in adds to a DIN step (the practical cost of Eq. 17's extra terms).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use miss_core::{Miss, MissConfig, SslMethod};
+use miss_data::{Batch, Dataset, Sample, WorldConfig};
+use miss_models::{CtrModel, Din, ForwardOpts, Ipnn, ModelConfig};
+use miss_nn::{Adam, Graph, ParamStore};
+use miss_tensor::Tensor;
+use miss_util::Rng;
+
+fn setup() -> (Dataset, Batch) {
+    let dataset = Dataset::generate(WorldConfig::tiny(), 77);
+    let refs: Vec<&Sample> = dataset.train.iter().take(64).collect();
+    let batch = Batch::from_samples(&refs, &dataset.schema);
+    (dataset, batch)
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(20);
+    let (dataset, batch) = setup();
+
+    group.bench_function("din_forward_backward_step", |bch| {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(0);
+        let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+        let mut adam = Adam::new(1e-2, 1e-4);
+        bch.iter(|| {
+            let mut g = Graph::new(&store);
+            let mut opts = ForwardOpts {
+                training: true,
+                rng: &mut rng,
+            };
+            let logits = model.forward(&mut g, &store, &batch, &mut opts);
+            let labels = Tensor::from_vec(batch.size, 1, batch.labels.clone());
+            let loss = g.tape.bce_with_logits_mean(logits, labels);
+            let grads = g.tape.backward(loss);
+            adam.step(&mut store, &g, grads);
+        })
+    });
+
+    group.bench_function("ipnn_forward_backward_step", |bch| {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(0);
+        let model = Ipnn::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+        let mut adam = Adam::new(1e-2, 1e-4);
+        bch.iter(|| {
+            let mut g = Graph::new(&store);
+            let mut opts = ForwardOpts {
+                training: true,
+                rng: &mut rng,
+            };
+            let logits = model.forward(&mut g, &store, &batch, &mut opts);
+            let labels = Tensor::from_vec(batch.size, 1, batch.labels.clone());
+            let loss = g.tape.bce_with_logits_mean(logits, labels);
+            let grads = g.tape.backward(loss);
+            adam.step(&mut store, &g, grads);
+        })
+    });
+
+    group.bench_function("din_miss_joint_step", |bch| {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(0);
+        let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+        let miss = Miss::new(&mut store, model.embedding(), MissConfig::default(), &mut rng);
+        let mut adam = Adam::new(1e-2, 1e-4);
+        bch.iter(|| {
+            let mut g = Graph::new(&store);
+            let mut opts = ForwardOpts {
+                training: true,
+                rng: &mut rng,
+            };
+            let logits = model.forward(&mut g, &store, &batch, &mut opts);
+            let labels = Tensor::from_vec(batch.size, 1, batch.labels.clone());
+            let mut loss = g.tape.bce_with_logits_mean(logits, labels);
+            if let Some(aux) =
+                miss.ssl_loss(&mut g, &store, model.embedding(), &batch, &mut rng)
+            {
+                loss = g.tape.add(loss, aux);
+            }
+            let grads = g.tape.backward(loss);
+            adam.step(&mut store, &g, grads);
+        })
+    });
+
+    group.bench_function("miss_ssl_loss_only", |bch| {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(0);
+        let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+        let miss = Miss::new(&mut store, model.embedding(), MissConfig::default(), &mut rng);
+        bch.iter(|| {
+            let mut g = Graph::new(&store);
+            miss.ssl_loss(&mut g, &store, model.embedding(), &batch, &mut rng)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Table III: dataset statistics for the three simulated worlds.
+
+use miss_bench::{dataset_for, ExpOpts};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    println!("=== Table III: dataset statistics ===");
+    println!(
+        "{:<20} {:>8} {:>8} {:>11} {:>10} {:>7}",
+        "Dataset", "#Users", "#Items", "#Instances", "#Features", "#Fields"
+    );
+    for world in opts.worlds() {
+        let d = dataset_for(world);
+        let s = d.stats();
+        println!(
+            "{:<20} {:>8} {:>8} {:>11} {:>10} {:>7}",
+            s.name, s.users, s.items, s.instances, s.features, s.fields
+        );
+    }
+}

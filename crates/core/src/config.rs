@@ -1,0 +1,204 @@
+//! MISS hyper-parameters, ablation variants (Table VII) and extractor
+//! choices (Table VIII).
+
+/// Which multi-interest extractor produces the interest representations
+/// (Table VIII / Figure 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExtractorKind {
+    /// Horizontal CNN (the paper's design; MISS-CNN).
+    Cnn,
+    /// Field self-attention over the sequence (MISS-SA).
+    SelfAttention,
+    /// LSTM hidden states (MISS-LSTM).
+    Lstm,
+}
+
+/// Architecture of the interest-view encoder `Enc^i` (the paper uses an
+/// MLP and leaves "other encoder structures, such as Transformer" to future
+/// work, §IV-B3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncoderKind {
+    /// Two-layer MLP (paper default).
+    Mlp,
+    /// Transformer block over the J field tokens, then an MLP head.
+    Transformer,
+}
+
+/// The ablation variants of Table VII, named as in the paper
+/// ("/X" = practice X removed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissVariant {
+    /// Full MISS.
+    Full,
+    /// MISS/F — no intra-item feature branch (MIMFE off).
+    NoF,
+    /// MISS/F/U — additionally no union-wise kernels (M = 1).
+    NoFU,
+    /// MISS/F/L — no F, no long-range dependencies (H = 1).
+    NoFL,
+    /// MISS/F/U/L — point-wise, short-range only.
+    NoFUL,
+    /// MISS/M/F/U/L — no multi-interest at all: sample-level augmentation.
+    NoMFUL,
+}
+
+impl MissVariant {
+    /// Display suffix used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MissVariant::Full => "MISS",
+            MissVariant::NoF => "MISS/F",
+            MissVariant::NoFU => "MISS/F/U",
+            MissVariant::NoFL => "MISS/F/L",
+            MissVariant::NoFUL => "MISS/F/U/L",
+            MissVariant::NoMFUL => "MISS/M/F/U/L",
+        }
+    }
+}
+
+/// MISS hyper-parameters (paper §VI-A5: `M ∈ 1..4`, `N ∈ {1,2}`,
+/// `H ∈ 1..4`, τ best at 0.1, α searched in `{0.05,0.1,0.5,1,5}`,
+/// encoders `{20,20}` / `{10,10}`).
+#[derive(Clone, Debug)]
+pub struct MissConfig {
+    /// Number of horizontal kernel branches `M` (widths `1..=M`).
+    pub m: usize,
+    /// Number of vertical kernel branches `N` (heights `1..=N`); 0 disables
+    /// the feature branch entirely (the `/F` ablation).
+    pub n: usize,
+    /// Maximum view-pair distance `H`.
+    pub h: usize,
+    /// Interest-level view pairs drawn per step `P`.
+    pub p: usize,
+    /// Feature-level view pairs drawn per step `Q`.
+    pub q: usize,
+    /// InfoNCE temperature τ.
+    pub tau: f32,
+    /// Weight of the interest-level SSL loss (α₁ in Eq. 17).
+    pub alpha1: f32,
+    /// Weight of the feature-level SSL loss (α₂ in Eq. 17).
+    pub alpha2: f32,
+    /// Interest-view encoder sizes (`Enc^i`).
+    pub enc_i_sizes: Vec<usize>,
+    /// Feature-view encoder sizes (`Enc^if`).
+    pub enc_if_sizes: Vec<usize>,
+    /// Extractor architecture.
+    pub extractor: ExtractorKind,
+    /// When false, fall back to sample-level augmentation (the `/M` ablation).
+    pub interest_level: bool,
+    /// Distribution of the pair distance `h` (future-work extension; the
+    /// paper's default is uniform).
+    pub distance_law: crate::DistanceLaw,
+    /// Interest-view encoder architecture (future-work extension; the
+    /// paper's default is an MLP).
+    pub encoder: EncoderKind,
+}
+
+impl Default for MissConfig {
+    fn default() -> Self {
+        MissConfig {
+            m: 3,
+            n: 2,
+            h: 3,
+            p: 8,
+            q: 4,
+            tau: 0.1,
+            alpha1: 1.0,
+            alpha2: 0.5,
+            enc_i_sizes: vec![20, 20],
+            enc_if_sizes: vec![10, 10],
+            extractor: ExtractorKind::Cnn,
+            interest_level: true,
+            distance_law: crate::DistanceLaw::Uniform,
+            encoder: EncoderKind::Mlp,
+        }
+    }
+}
+
+impl MissConfig {
+    /// Configuration for an ablation variant of Table VII.
+    pub fn variant(v: MissVariant) -> Self {
+        let mut cfg = MissConfig::default();
+        match v {
+            MissVariant::Full => {}
+            MissVariant::NoF => {
+                cfg.n = 0;
+                cfg.alpha2 = 0.0;
+            }
+            MissVariant::NoFU => {
+                cfg.n = 0;
+                cfg.alpha2 = 0.0;
+                cfg.m = 1;
+            }
+            MissVariant::NoFL => {
+                cfg.n = 0;
+                cfg.alpha2 = 0.0;
+                cfg.h = 1;
+            }
+            MissVariant::NoFUL => {
+                cfg.n = 0;
+                cfg.alpha2 = 0.0;
+                cfg.m = 1;
+                cfg.h = 1;
+            }
+            MissVariant::NoMFUL => {
+                cfg.n = 0;
+                cfg.alpha2 = 0.0;
+                cfg.m = 1;
+                cfg.h = 1;
+                cfg.interest_level = false;
+            }
+        }
+        cfg
+    }
+
+    /// Configuration using an alternative extractor (Table VIII).
+    pub fn with_extractor(kind: ExtractorKind) -> Self {
+        let mut cfg = MissConfig {
+            extractor: kind,
+            ..MissConfig::default()
+        };
+        if kind != ExtractorKind::Cnn {
+            // SA/LSTM produce one representation per position (no kernel
+            // widths), equivalent to M = 1.
+            cfg.m = 1;
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_flags() {
+        let full = MissConfig::variant(MissVariant::Full);
+        assert!(full.n > 0 && full.m > 1 && full.h > 1 && full.interest_level);
+        let nof = MissConfig::variant(MissVariant::NoF);
+        assert_eq!(nof.n, 0);
+        assert_eq!(nof.alpha2, 0.0);
+        assert!(nof.m > 1, "/F keeps union-wise kernels");
+        let nofu = MissConfig::variant(MissVariant::NoFU);
+        assert_eq!(nofu.m, 1);
+        assert!(nofu.h > 1, "/F/U keeps long-range");
+        let nofl = MissConfig::variant(MissVariant::NoFL);
+        assert_eq!(nofl.h, 1);
+        assert!(nofl.m > 1, "/F/L keeps union-wise");
+        let noall = MissConfig::variant(MissVariant::NoMFUL);
+        assert!(!noall.interest_level);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(MissVariant::Full.label(), "MISS");
+        assert_eq!(MissVariant::NoMFUL.label(), "MISS/M/F/U/L");
+    }
+
+    #[test]
+    fn alternative_extractors_drop_union_kernels() {
+        assert_eq!(MissConfig::with_extractor(ExtractorKind::SelfAttention).m, 1);
+        assert_eq!(MissConfig::with_extractor(ExtractorKind::Lstm).m, 1);
+        assert_eq!(MissConfig::with_extractor(ExtractorKind::Cnn).m, 3);
+    }
+}

@@ -1,0 +1,189 @@
+//! Simulator configuration and the three dataset presets.
+
+/// Parameters of the interest-world generator.
+///
+/// The presets are scaled-down analogues of the paper's three datasets; pass
+/// `scale > 1.0` to grow them toward the paper's sizes (every count scales
+/// linearly, runtimes roughly so).
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Dataset display name.
+    pub name: String,
+    /// Users generated before filtering.
+    pub num_users: usize,
+    /// Item vocabulary size (excluding the PAD slot).
+    pub num_items: usize,
+    /// Number of latent interests in the world.
+    pub num_interests: usize,
+    /// Number of item categories; deliberately coarser than interests.
+    pub num_categories: usize,
+    /// Number of sellers (0 = no seller field; the Amazon presets).
+    pub num_sellers: usize,
+    /// Number of context action types (0 = no action field).
+    pub num_action_types: usize,
+    /// Inclusive range of how many interests a user mixes.
+    pub interests_per_user: (usize, usize),
+    /// Dirichlet concentration over the user's chosen interests.
+    pub dirichlet_alpha: f64,
+    /// Inclusive range of raw behaviour-sequence lengths (before filtering).
+    pub seq_len_range: (usize, usize),
+    /// Probability that the next behaviour stays in the current interest run.
+    pub stickiness: f64,
+    /// Zipf exponent of within-interest item popularity.
+    pub zipf_exponent: f64,
+    /// Minimum interactions required to keep a user (paper: 5 or 10).
+    pub min_interactions: usize,
+    /// Probability a history behaviour is a spurious (random) click.
+    pub history_noise: f64,
+    /// Interest drift over the sequence's time span, in `[0, 1]`: 0 means a
+    /// static interest mixture; 1 means the user's early interests fade out
+    /// completely and late interests take over (the paper attributes the
+    /// larger MISS gains on the ten-year Amazon datasets to exactly this
+    /// kind of long-horizon diversity).
+    pub interest_drift: f64,
+    /// Probability that, within an interest run, the next click continues
+    /// the interest's item *chain* (series/progression structure) instead of
+    /// being an independent popularity draw. Chains make the next click
+    /// conditionally dependent on the most recent behaviour — sequence
+    /// signal beyond any pooled bilinear match.
+    pub chain_strength: f64,
+    /// Padded sequence length used by the models.
+    pub max_seq_len: usize,
+}
+
+impl WorldConfig {
+    /// Amazon-Cds analogue: long time-span, diverse interests, 5 fields,
+    /// minimum 5 interactions.
+    pub fn amazon_cds(scale: f64) -> Self {
+        WorldConfig {
+            name: "amazon-cds-sim".into(),
+            num_users: (1200.0 * scale) as usize,
+            num_items: (1000.0 * scale) as usize,
+            num_interests: 20,
+            num_categories: 8,
+            num_sellers: 0,
+            num_action_types: 0,
+            interests_per_user: (4, 8),
+            dirichlet_alpha: 0.8,
+            seq_len_range: (3, 40),
+            stickiness: 0.75,
+            zipf_exponent: 1.05,
+            min_interactions: 5,
+            history_noise: 0.05,
+            interest_drift: 0.7,
+            chain_strength: 0.8,
+            max_seq_len: 30,
+        }
+    }
+
+    /// Amazon-Books analogue: the largest, most diverse preset, 5 fields,
+    /// minimum 10 interactions.
+    pub fn amazon_books(scale: f64) -> Self {
+        WorldConfig {
+            name: "amazon-books-sim".into(),
+            num_users: (2000.0 * scale) as usize,
+            num_items: (2600.0 * scale) as usize,
+            num_interests: 24,
+            num_categories: 8,
+            num_sellers: 0,
+            num_action_types: 0,
+            interests_per_user: (5, 9),
+            dirichlet_alpha: 0.8,
+            seq_len_range: (6, 48),
+            stickiness: 0.72,
+            zipf_exponent: 1.05,
+            min_interactions: 10,
+            history_noise: 0.05,
+            interest_drift: 0.8,
+            chain_strength: 0.8,
+            max_seq_len: 30,
+        }
+    }
+
+    /// Alipay analogue: short time-span → few interests per user, extra
+    /// seller/action fields (7 fields total), minimum 10 interactions.
+    pub fn alipay(scale: f64) -> Self {
+        WorldConfig {
+            name: "alipay-sim".into(),
+            num_users: (2400.0 * scale) as usize,
+            num_items: (2000.0 * scale) as usize,
+            num_interests: 16,
+            num_categories: 10,
+            num_sellers: 60,
+            num_action_types: 4,
+            interests_per_user: (2, 3),
+            dirichlet_alpha: 1.2,
+            seq_len_range: (6, 36),
+            stickiness: 0.85,
+            zipf_exponent: 1.1,
+            min_interactions: 10,
+            history_noise: 0.03,
+            interest_drift: 0.1,
+            chain_strength: 0.7,
+            max_seq_len: 30,
+        }
+    }
+
+    /// Tiny configuration for unit tests and smoke runs.
+    pub fn tiny() -> Self {
+        WorldConfig {
+            name: "tiny-sim".into(),
+            num_users: 220,
+            num_items: 150,
+            num_interests: 6,
+            num_categories: 3,
+            num_sellers: 0,
+            num_action_types: 0,
+            interests_per_user: (2, 4),
+            dirichlet_alpha: 0.8,
+            seq_len_range: (4, 14),
+            stickiness: 0.8,
+            zipf_exponent: 1.0,
+            min_interactions: 5,
+            history_noise: 0.05,
+            interest_drift: 0.5,
+            chain_strength: 0.7,
+            max_seq_len: 10,
+        }
+    }
+
+    /// Number of fields as the paper counts them (categorical + sequential).
+    pub fn num_fields(&self) -> usize {
+        // user, item, category (+ seller, action) + item-seq, category-seq
+        let mut fields = 3 + 2;
+        if self.num_sellers > 0 {
+            fields += 1;
+        }
+        if self.num_action_types > 0 {
+            fields += 1;
+        }
+        fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_field_counts() {
+        assert_eq!(WorldConfig::amazon_cds(1.0).num_fields(), 5);
+        assert_eq!(WorldConfig::amazon_books(1.0).num_fields(), 5);
+        assert_eq!(WorldConfig::alipay(1.0).num_fields(), 7);
+    }
+
+    #[test]
+    fn scale_grows_counts() {
+        let small = WorldConfig::amazon_cds(0.5);
+        let big = WorldConfig::amazon_cds(2.0);
+        assert!(big.num_users > small.num_users);
+        assert!(big.num_items > small.num_items);
+    }
+
+    #[test]
+    fn alipay_has_fewer_interests_per_user() {
+        let ali = WorldConfig::alipay(1.0);
+        let cds = WorldConfig::amazon_cds(1.0);
+        assert!(ali.interests_per_user.1 < cds.interests_per_user.0);
+    }
+}

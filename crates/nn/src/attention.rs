@@ -1,0 +1,147 @@
+//! A reusable single-layer Transformer block (self-attention + position-wise
+//! feed-forward with residual connections) over fixed-size token groups.
+//!
+//! Used by the MISS encoder extension (the paper leaves "other encoder
+//! structures, such as Transformer" to future work, §IV-B3) and available to
+//! any model that wants batched set attention.
+
+use crate::graph::Graph;
+use crate::layers::{Linear, Mlp};
+use crate::store::ParamStore;
+use miss_autograd::Var;
+use miss_util::Rng;
+
+/// One pre-norm-free Transformer encoder block operating on `(B·T)×K`
+/// token matrices with `T` tokens per sample.
+pub struct TransformerBlock {
+    q: Linear,
+    k: Linear,
+    v: Linear,
+    ffn: Mlp,
+    dim: usize,
+}
+
+impl TransformerBlock {
+    /// Create a block over `dim`-wide tokens; the FFN expands to `2·dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, rng: &mut Rng) -> Self {
+        TransformerBlock {
+            q: Linear::new(store, &format!("{name}.q"), dim, dim, rng),
+            k: Linear::new(store, &format!("{name}.k"), dim, dim, rng),
+            v: Linear::new(store, &format!("{name}.v"), dim, dim, rng),
+            ffn: Mlp::relu_tower(store, &format!("{name}.ffn"), dim, &[2 * dim, dim], rng),
+            dim,
+        }
+    }
+
+    /// Token width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Forward over `(blocks·tokens)×dim`, attention within each block.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Var,
+        blocks: usize,
+    ) -> Var {
+        let (rows, dim) = g.tape.shape(x);
+        assert_eq!(dim, self.dim, "token width mismatch");
+        assert_eq!(rows % blocks, 0, "rows not divisible by block count");
+        let q = self.q.forward(g, store, x);
+        let k = self.k.forward(g, store, x);
+        let v = self.v.forward(g, store, x);
+        let scores = g.tape.bmm_nt(q, k, blocks);
+        let scaled = g.tape.scale(scores, 1.0 / (dim as f32).sqrt());
+        let att = g.tape.softmax_rows(scaled);
+        let mixed = g.tape.bmm_nn(att, v, blocks);
+        let res1 = g.tape.add(x, mixed);
+        let ff = self.ffn.forward(g, store, res1);
+        g.tape.add(res1, ff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use miss_tensor::Tensor;
+
+    #[test]
+    fn shapes_preserved() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(0);
+        let block = TransformerBlock::new(&mut store, "t", 8, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.input(Tensor::from_fn(3 * 4, 8, |i, j| ((i + j) % 5) as f32 * 0.1));
+        let y = block.forward(&mut g, &store, x, 3);
+        assert_eq!(g.tape.shape(y), (12, 8));
+        assert!(!g.tape.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn gradients_reach_all_projections() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(1);
+        let block = TransformerBlock::new(&mut store, "t", 4, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.input(Tensor::from_fn(2 * 3, 4, |i, j| (i as f32 - j as f32) * 0.2));
+        let y = block.forward(&mut g, &store, x, 2);
+        let sq = g.tape.mul(y, y);
+        let loss = g.tape.sum_all(sq);
+        let grads = g.tape.backward(loss);
+        let with_grad = g
+            .dense_bindings()
+            .iter()
+            .filter(|&&(_, var)| grads.get(var).is_some())
+            .count();
+        // q, k, v, and two FFN layers → 5 weight+bias pairs = 10 params.
+        assert!(with_grad >= 8, "only {with_grad} params received gradients");
+    }
+
+    #[test]
+    fn block_can_learn_token_mixing() {
+        // task: output token 0 should predict the mean of the other tokens'
+        // first feature — requires attention to mix information.
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(2);
+        let block = TransformerBlock::new(&mut store, "t", 4, &mut rng);
+        let head = Linear::new(&mut store, "head", 4, 1, &mut rng);
+        let mut adam = Adam::new(5e-3, 0.0);
+        let tokens = 3usize;
+        let blocks = 8usize;
+        let x = Tensor::from_fn(blocks * tokens, 4, |i, j| {
+            ((i * 13 + j * 7) % 11) as f32 * 0.1 - 0.5
+        });
+        // target for each block: mean over its tokens of feature 0
+        let target = Tensor::from_vec(
+            blocks,
+            1,
+            (0..blocks)
+                .map(|b| {
+                    (0..tokens).map(|t| x.get(b * tokens + t, 0)).sum::<f32>()
+                        / tokens as f32
+                })
+                .collect(),
+        );
+        let mut last = f32::MAX;
+        for _ in 0..300 {
+            let mut g = Graph::new(&store);
+            let xv = g.input(x.clone());
+            let y = block.forward(&mut g, &store, xv, blocks);
+            // read token 0 of each block
+            let idx: Vec<usize> = (0..blocks).map(|b| b * tokens).collect();
+            let tok0 = g.tape.gather_rows(y, idx);
+            let pred = head.forward(&mut g, &store, tok0);
+            let tv = g.input(target.clone());
+            let diff = g.tape.sub(pred, tv);
+            let sq = g.tape.mul(diff, diff);
+            let loss = g.tape.mean_all(sq);
+            last = g.tape.value(loss).item();
+            let grads = g.tape.backward(loss);
+            adam.step(&mut store, &g, grads);
+        }
+        assert!(last < 0.01, "transformer failed to learn mixing: {last}");
+    }
+}

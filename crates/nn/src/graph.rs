@@ -1,0 +1,154 @@
+//! One training step's binding between a tape and the parameter store.
+
+use crate::store::{DenseId, ParamStore, TableId};
+use miss_autograd::{Tape, Var};
+use miss_tensor::Tensor;
+use miss_util::Rng;
+
+/// A forward/backward step: wraps a fresh [`Tape`] and records which tape
+/// leaves correspond to which store parameters so the optimiser can route
+/// gradients back.
+///
+/// Parameter leaves are cached: asking for the same [`DenseId`] twice returns
+/// the same [`Var`], so fan-out accumulates into one gradient.
+pub struct Graph {
+    /// The underlying autodiff tape (public: ops are called directly on it).
+    pub tape: Tape,
+    dense_bindings: Vec<(DenseId, Var)>,
+    dense_cache: Vec<Option<Var>>,
+}
+
+impl Graph {
+    /// Start a step over `store`'s current parameter values.
+    pub fn new(store: &ParamStore) -> Self {
+        Graph {
+            tape: Tape::new(),
+            dense_bindings: Vec::new(),
+            dense_cache: vec![None; store.dense.len()],
+        }
+    }
+
+    /// Bind a dense parameter as a differentiable leaf (cached per id).
+    pub fn param(&mut self, store: &ParamStore, id: DenseId) -> Var {
+        if let Some(Some(v)) = self.dense_cache.get(id.0) {
+            return *v;
+        }
+        let var = self.tape.leaf(store.dense_value(id).clone());
+        if id.0 >= self.dense_cache.len() {
+            self.dense_cache.resize(id.0 + 1, None);
+        }
+        self.dense_cache[id.0] = Some(var);
+        self.dense_bindings.push((id, var));
+        var
+    }
+
+    /// Differentiable embedding lookup: gathers `indices` rows of the table
+    /// and records a sparse-gradient node.
+    pub fn embed(&mut self, store: &ParamStore, id: TableId, indices: &[u32]) -> Var {
+        let rows = store.table_ref(id).gather(indices);
+        self.tape.embed(id.0, rows, indices.to_vec())
+    }
+
+    /// Record mini-batch data (no gradient).
+    pub fn input(&mut self, data: Tensor) -> Var {
+        self.tape.constant(data)
+    }
+
+    /// The `(DenseId, Var)` bindings accumulated so far (for the optimiser).
+    pub fn dense_bindings(&self) -> &[(DenseId, Var)] {
+        &self.dense_bindings
+    }
+}
+
+/// Inverted dropout: at train time zero each element with probability `p`
+/// and scale survivors by `1/(1-p)`; identity at eval time or `p == 0`.
+pub fn dropout(g: &mut Graph, x: Var, p: f32, training: bool, rng: &mut Rng) -> Var {
+    if !training || p <= 0.0 {
+        return x;
+    }
+    assert!(p < 1.0, "dropout probability must be < 1");
+    let (r, c) = g.tape.shape(x);
+    let keep = 1.0 - p;
+    let mask = Tensor::from_fn(r, c, |_, _| {
+        if rng.bool(p as f64) {
+            0.0
+        } else {
+            1.0 / keep
+        }
+    });
+    g.tape.mask(x, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn param_leaves_are_cached() {
+        let mut store = ParamStore::new();
+        let id = store.dense("w", 2, 2, |r, c| Tensor::full(r, c, 1.0));
+        let mut g = Graph::new(&store);
+        let a = g.param(&store, id);
+        let b = g.param(&store, id);
+        assert_eq!(a, b);
+        assert_eq!(g.dense_bindings().len(), 1);
+    }
+
+    #[test]
+    fn fanout_param_accumulates_single_gradient() {
+        let mut store = ParamStore::new();
+        let id = store.dense("w", 1, 2, |r, c| Tensor::from_vec(r, c, vec![2.0, 3.0]));
+        let mut g = Graph::new(&store);
+        let w = g.param(&store, id);
+        let w2 = g.param(&store, id);
+        let y = g.tape.mul(w, w2); // w ⊙ w
+        let loss = g.tape.sum_all(y);
+        let grads = g.tape.backward(loss);
+        // d/dw sum(w²) = 2w
+        assert_eq!(grads.expect(w).as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn embed_flows_to_sparse() {
+        let mut store = ParamStore::new();
+        let t = store.table("e", 3, 2, init::zeros);
+        let mut g = Graph::new(&store);
+        let e = g.embed(&store, t, &[1, 1, 2]);
+        let loss = g.tape.sum_all(e);
+        let grads = g.tape.backward(loss);
+        assert_eq!(grads.sparse.len(), 1);
+        assert_eq!(grads.sparse[0].indices, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let _ = &mut store;
+        let x = g.input(Tensor::full(4, 4, 2.0));
+        let mut rng = Rng::new(0);
+        let y = dropout(&mut g, x, 0.5, false, &mut rng);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dropout_train_preserves_mean() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.input(Tensor::full(100, 100, 1.0));
+        let mut rng = Rng::new(1);
+        let y = dropout(&mut g, x, 0.3, true, &mut rng);
+        let mean = g.tape.value(y).mean_all();
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean {mean}");
+        let zeros = g
+            .tape
+            .value(y)
+            .as_slice()
+            .iter()
+            .filter(|&&v| v == 0.0)
+            .count();
+        let frac = zeros as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "drop fraction {frac}");
+    }
+}

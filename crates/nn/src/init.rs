@@ -1,0 +1,68 @@
+//! Weight initialisers. Each returns a closure-friendly `(rows, cols) ->
+//! Tensor` builder; randomised ones borrow an [`Rng`] for determinism.
+
+use miss_tensor::Tensor;
+use miss_util::Rng;
+
+/// All-zeros (biases).
+pub fn zeros(rows: usize, cols: usize) -> Tensor {
+    Tensor::zeros(rows, cols)
+}
+
+/// Constant fill.
+pub fn constant(value: f32) -> impl FnOnce(usize, usize) -> Tensor {
+    move |rows, cols| Tensor::full(rows, cols, value)
+}
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier(rng: &mut Rng) -> impl FnOnce(usize, usize) -> Tensor + '_ {
+    move |rows, cols| {
+        let a = (6.0 / (rows + cols) as f32).sqrt();
+        Tensor::from_fn(rows, cols, |_, _| rng.uniform(-a, a))
+    }
+}
+
+/// Scaled normal `N(0, std²)` — the customary init for embedding tables.
+pub fn normal(std: f32, rng: &mut Rng) -> impl FnOnce(usize, usize) -> Tensor + '_ {
+    move |rows, cols| Tensor::from_fn(rows, cols, |_, _| rng.normal_ms(0.0, std))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = Rng::new(0);
+        let t = xavier(&mut rng)(40, 40);
+        let a = (6.0 / 80.0f32).sqrt();
+        assert!(t.as_slice().iter().all(|&v| v.abs() <= a));
+        // not degenerate
+        let distinct = t
+            .as_slice()
+            .iter()
+            .filter(|&&v| v != t.as_slice()[0])
+            .count();
+        assert!(distinct > 100);
+    }
+
+    #[test]
+    fn normal_std() {
+        let mut rng = Rng::new(1);
+        let t = normal(0.01, &mut rng)(100, 100);
+        let mean = t.mean_all();
+        let var = t.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+            / (t.len() as f32);
+        assert!(mean.abs() < 1e-3);
+        assert!((var.sqrt() - 0.01).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        let ta = xavier(&mut a)(5, 5);
+        let tb = xavier(&mut b)(5, 5);
+        assert_eq!(ta.as_slice(), tb.as_slice());
+    }
+}

@@ -1,0 +1,251 @@
+//! Adam optimiser with dense and lazy-sparse updates.
+
+use crate::graph::Graph;
+use crate::store::ParamStore;
+use miss_autograd::Grads;
+use miss_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Adam (Kingma & Ba, 2015) — the optimiser the paper uses — with optional
+/// decoupled-from-nothing classic L2 regularisation added to the gradient.
+///
+/// Embedding gradients arrive as sparse `(table, indices, rows)` triples;
+/// duplicates are merged and only the touched rows' moments are updated
+/// ("lazy Adam"). Bias correction uses the global step count for both dense
+/// and sparse parameters, matching the common framework implementations.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// L2 regularisation weight (applied to the gradient).
+    pub l2: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the customary betas and the given learning rate / L2 weight.
+    pub fn new(lr: f32, l2: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            l2,
+            t: 0,
+        }
+    }
+
+    /// Number of steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one step: dense gradients via the graph's bindings, sparse
+    /// gradients from the backward result.
+    pub fn step(&mut self, store: &mut ParamStore, graph: &Graph, mut grads: Grads) {
+        self.t += 1;
+        let t = self.t as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+
+        for &(id, var) in graph.dense_bindings() {
+            let Some(g) = grads.take(var) else { continue };
+            let p = &mut store.dense[id.0];
+            let (w, m, v) = (
+                p.value.as_mut_slice(),
+                p.m.as_mut_slice(),
+                p.v.as_mut_slice(),
+            );
+            for i in 0..w.len() {
+                let gi = g.as_slice()[i] + self.l2 * w[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * gi;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * gi * gi;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                w[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+
+        // Merge sparse contributions per (table, row).
+        let mut merged: HashMap<(usize, u32), Tensor> = HashMap::new();
+        for sg in grads.sparse.drain(..) {
+            for (r, &idx) in sg.indices.iter().enumerate() {
+                let dim = sg.grad_rows.cols();
+                let row = Tensor::from_vec(1, dim, sg.grad_rows.row(r).to_vec());
+                merged
+                    .entry((sg.table_id, idx))
+                    .and_modify(|acc| acc.add_assign(&row))
+                    .or_insert(row);
+            }
+        }
+        // Deterministic application order.
+        let mut keys: Vec<(usize, u32)> = merged.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let (table_id, idx) = key;
+            let g = &merged[&key];
+            let table = &mut store.tables[table_id];
+            let dim = table.dim;
+            let off = idx as usize * dim;
+            let w = &mut table.value.as_mut_slice()[off..off + dim];
+            let m = &mut table.m.as_mut_slice()[off..off + dim];
+            let v = &mut table.v.as_mut_slice()[off..off + dim];
+            for i in 0..dim {
+                let gi = g.as_slice()[i] + self.l2 * w[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * gi;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * gi * gi;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                w[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use crate::store::ParamStore;
+
+    /// Minimise (w - 3)² with Adam; w must approach 3.
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let id = store.dense("w", 1, 1, init::zeros);
+        let mut adam = Adam::new(0.1, 0.0);
+        for _ in 0..300 {
+            let mut g = Graph::new(&store);
+            let w = g.param(&store, id);
+            let c = g.input(miss_tensor::Tensor::scalar(3.0));
+            let d = g.tape.sub(w, c);
+            let loss = {
+                let sq = g.tape.mul(d, d);
+                g.tape.sum_all(sq)
+            };
+            let grads = g.tape.backward(loss);
+            adam.step(&mut store, &g, grads);
+        }
+        let w = store.dense_value(id).item();
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    /// Sparse rows: only looked-up rows should move.
+    #[test]
+    fn sparse_update_touches_only_looked_up_rows() {
+        let mut store = ParamStore::new();
+        let t = store.table("e", 4, 2, init::constant(1.0));
+        let mut adam = Adam::new(0.05, 0.0);
+        for _ in 0..10 {
+            let mut g = Graph::new(&store);
+            let e = g.embed(&store, t, &[0, 2]);
+            let loss = g.tape.sum_all(e);
+            let grads = g.tape.backward(loss);
+            adam.step(&mut store, &g, grads);
+        }
+        let tv = store.table_ref(t);
+        assert!(tv.value.get(0, 0) < 1.0, "row 0 should have moved");
+        assert!(tv.value.get(2, 0) < 1.0, "row 2 should have moved");
+        assert_eq!(tv.value.get(1, 0), 1.0, "row 1 untouched");
+        assert_eq!(tv.value.get(3, 1), 1.0, "row 3 untouched");
+    }
+
+    /// Duplicate indices in one batch must accumulate before the update
+    /// (i.e. one Adam step sees the summed gradient).
+    #[test]
+    fn duplicate_indices_merge() {
+        let mut s1 = ParamStore::new();
+        let t1 = s1.table("e", 2, 1, init::constant(0.0));
+        let mut a1 = Adam::new(0.1, 0.0);
+        let mut g = Graph::new(&s1);
+        let e = g.embed(&s1, t1, &[0, 0]);
+        let loss = g.tape.sum_all(e);
+        let grads = g.tape.backward(loss);
+        a1.step(&mut s1, &g, grads);
+
+        // vs a single lookup scaled by 2
+        let mut s2 = ParamStore::new();
+        let t2 = s2.table("e", 2, 1, init::constant(0.0));
+        let mut a2 = Adam::new(0.1, 0.0);
+        let mut g2 = Graph::new(&s2);
+        let e2 = g2.embed(&s2, t2, &[0]);
+        let scaled = g2.tape.scale(e2, 2.0);
+        let loss2 = g2.tape.sum_all(scaled);
+        let grads2 = g2.tape.backward(loss2);
+        a2.step(&mut s2, &g2, grads2);
+
+        assert!(
+            (s1.table_ref(t1).value.get(0, 0) - s2.table_ref(t2).value.get(0, 0)).abs() < 1e-6,
+            "merged duplicate update must equal single summed update"
+        );
+    }
+
+    #[test]
+    fn l2_pulls_weights_toward_zero() {
+        let mut store = ParamStore::new();
+        let id = store.dense("w", 1, 1, init::constant(5.0));
+        let mut adam = Adam::new(0.05, 0.1);
+        for _ in 0..400 {
+            let mut g = Graph::new(&store);
+            let w = g.param(&store, id);
+            // loss independent of w: only L2 acts
+            let loss = g.tape.scale(w, 0.0);
+            let loss = g.tape.sum_all(loss);
+            let grads = g.tape.backward(loss);
+            adam.step(&mut store, &g, grads);
+        }
+        assert!(store.dense_value(id).item().abs() < 0.5);
+    }
+}
+
+#[cfg(test)]
+mod bias_correction_tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::init;
+    use crate::store::ParamStore;
+
+    /// Adam's first step must move the weight by ~lr regardless of the raw
+    /// gradient magnitude (the bias-corrected signal-to-noise is 1).
+    #[test]
+    fn first_step_magnitude_is_lr() {
+        for &grad_scale in &[0.01f32, 1.0, 100.0] {
+            let mut store = ParamStore::new();
+            let id = store.dense("w", 1, 1, init::constant(0.0));
+            let mut adam = Adam::new(0.05, 0.0);
+            let mut g = Graph::new(&store);
+            let w = g.param(&store, id);
+            let scaled = g.tape.scale(w, grad_scale);
+            let loss = g.tape.sum_all(scaled);
+            let grads = g.tape.backward(loss);
+            adam.step(&mut store, &g, grads);
+            let step = store.dense_value(id).item().abs();
+            assert!(
+                (step - 0.05).abs() < 1e-3,
+                "grad scale {grad_scale}: step {step} != lr"
+            );
+        }
+    }
+
+    /// Step counter advances once per call, not per parameter.
+    #[test]
+    fn step_counter() {
+        let mut store = ParamStore::new();
+        let a = store.dense("a", 1, 1, init::constant(1.0));
+        let _b = store.dense("b", 2, 2, init::constant(1.0));
+        let mut adam = Adam::new(0.01, 0.0);
+        for _ in 0..3 {
+            let mut g = Graph::new(&store);
+            let w = g.param(&store, a);
+            let loss = g.tape.sum_all(w);
+            let grads = g.tape.backward(loss);
+            adam.step(&mut store, &g, grads);
+        }
+        assert_eq!(adam.steps(), 3);
+    }
+}

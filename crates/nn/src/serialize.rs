@@ -1,0 +1,205 @@
+//! Model persistence: save/load every parameter of a [`ParamStore`] to a
+//! simple self-describing binary format (magic + version + per-parameter
+//! name/shape/data records). Optimiser moments are not persisted — a loaded
+//! model is for inference or fresh fine-tuning, matching the common
+//! checkpoint convention.
+
+use crate::store::ParamStore;
+use miss_tensor::Tensor;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"MISSCKP1";
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
+    w.write_all(&(t.rows() as u64).to_le_bytes())?;
+    w.write_all(&(t.cols() as u64).to_le_bytes())?;
+    for &v in t.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_tensor(r: &mut impl Read) -> io::Result<Tensor> {
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let rows = u64::from_le_bytes(b8) as usize;
+    r.read_exact(&mut b8)?;
+    let cols = u64::from_le_bytes(b8) as usize;
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut b4 = [0u8; 4];
+    for _ in 0..rows * cols {
+        r.read_exact(&mut b4)?;
+        data.push(f32::from_le_bytes(b4));
+    }
+    Ok(Tensor::from_vec(rows, cols, data))
+}
+
+impl ParamStore {
+    /// Serialise all parameter values to a writer.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.dense.len() as u32).to_le_bytes())?;
+        for p in &self.dense {
+            write_str(w, &p.name)?;
+            write_tensor(w, &p.value)?;
+        }
+        w.write_all(&(self.tables.len() as u32).to_le_bytes())?;
+        for t in &self.tables {
+            write_str(w, &t.name)?;
+            write_tensor(w, &t.value)?;
+        }
+        Ok(())
+    }
+
+    /// Save to a file path.
+    pub fn save_to_path(&self, path: &std::path::Path) -> io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut f)
+    }
+
+    /// Load parameter values by name into this store. The store must already
+    /// contain all parameters (i.e. construct the model first, then load).
+    /// Unknown names in the checkpoint are an error; missing ones too — a
+    /// checkpoint either matches the architecture or it doesn't.
+    pub fn load(&mut self, r: &mut impl Read) -> io::Result<()> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let mut b4 = [0u8; 4];
+        r.read_exact(&mut b4)?;
+        let n_dense = u32::from_le_bytes(b4) as usize;
+        if n_dense != self.dense.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint has {n_dense} dense params, store has {}",
+                    self.dense.len()
+                ),
+            ));
+        }
+        for _ in 0..n_dense {
+            let name = read_str(r)?;
+            let value = read_tensor(r)?;
+            let p = self
+                .dense
+                .iter_mut()
+                .find(|p| p.name == name)
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("unknown param {name}"))
+                })?;
+            if p.value.shape() != value.shape() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("shape mismatch for {name}"),
+                ));
+            }
+            p.value = value;
+        }
+        r.read_exact(&mut b4)?;
+        let n_tables = u32::from_le_bytes(b4) as usize;
+        if n_tables != self.tables.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "table count mismatch",
+            ));
+        }
+        for _ in 0..n_tables {
+            let name = read_str(r)?;
+            let value = read_tensor(r)?;
+            let t = self
+                .tables
+                .iter_mut()
+                .find(|t| t.name == name)
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("unknown table {name}"))
+                })?;
+            if t.value.shape() != value.shape() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("shape mismatch for table {name}"),
+                ));
+            }
+            t.value = value;
+        }
+        Ok(())
+    }
+
+    /// Load from a file path.
+    pub fn load_from_path(&mut self, path: &std::path::Path) -> io::Result<()> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        self.load(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    fn sample_store(fill: f32) -> ParamStore {
+        let mut s = ParamStore::new();
+        s.dense("w1", 2, 3, init::constant(fill));
+        s.dense("w2", 1, 4, init::constant(fill * 2.0));
+        s.table("emb", 5, 2, init::constant(fill * 3.0));
+        s
+    }
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let src = sample_store(1.5);
+        let mut buf = Vec::new();
+        src.save(&mut buf).unwrap();
+        let mut dst = sample_store(0.0);
+        dst.load(&mut buf.as_slice()).unwrap();
+        let w1 = dst.dense("w1", 2, 3, init::zeros);
+        assert_eq!(dst.dense_value(w1).get(1, 2), 1.5);
+        let emb = dst.table("emb", 5, 2, init::zeros);
+        assert_eq!(dst.table_ref(emb).value.get(4, 1), 4.5);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut dst = sample_store(0.0);
+        let err = dst.load(&mut &b"NOTMAGIC garbage"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn architecture_mismatch_rejected() {
+        let src = sample_store(1.0);
+        let mut buf = Vec::new();
+        src.save(&mut buf).unwrap();
+        let mut dst = ParamStore::new();
+        dst.dense("w1", 2, 3, init::zeros); // missing w2 + table
+        assert!(dst.load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("miss_test_ckpt.bin");
+        let src = sample_store(2.25);
+        src.save_to_path(&path).unwrap();
+        let mut dst = sample_store(0.0);
+        dst.load_from_path(&path).unwrap();
+        let w2 = dst.dense("w2", 1, 4, init::zeros);
+        assert_eq!(dst.dense_value(w2).get(0, 0), 4.5);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,224 @@
+//! Parameter storage: dense matrices and embedding tables with Adam state.
+
+use miss_tensor::Tensor;
+
+/// Identifier of a dense parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DenseId(pub(crate) usize);
+
+/// Identifier of an embedding table inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TableId(pub(crate) usize);
+
+pub(crate) struct DenseParam {
+    pub name: String,
+    pub value: Tensor,
+    pub m: Tensor,
+    pub v: Tensor,
+}
+
+/// An embedding matrix (`rows × dim`) with per-row Adam moments. Rows are
+/// only ever touched through sparse lookups, so the moments are updated
+/// lazily for touched rows (standard "lazy Adam" semantics).
+pub struct EmbeddingTable {
+    pub(crate) name: String,
+    pub(crate) value: Tensor,
+    pub(crate) m: Tensor,
+    pub(crate) v: Tensor,
+    /// Per-row last-update step for lazy bias correction bookkeeping.
+    pub(crate) dim: usize,
+}
+
+impl EmbeddingTable {
+    /// Number of rows (vocabulary size).
+    pub fn rows(&self) -> usize {
+        self.value.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Gather the rows for `indices` into a dense `len×dim` matrix.
+    pub fn gather(&self, indices: &[u32]) -> Tensor {
+        let idx: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
+        self.value.gather_rows(&idx)
+    }
+}
+
+/// Owns every trainable parameter of a model (or of a model plus its MISS
+/// plug-in — they share one store so joint training is trivial).
+///
+/// Parameters are created-or-fetched by name, so constructing the same model
+/// twice over one store reuses weights; experiment code instead creates a
+/// fresh store per run.
+#[derive(Default)]
+pub struct ParamStore {
+    pub(crate) dense: Vec<DenseParam>,
+    pub(crate) tables: Vec<EmbeddingTable>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a dense parameter, or return the existing one with this name
+    /// (shape must then match).
+    pub fn dense(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        init: impl FnOnce(usize, usize) -> Tensor,
+    ) -> DenseId {
+        if let Some(i) = self.dense.iter().position(|p| p.name == name) {
+            assert_eq!(
+                self.dense[i].value.shape(),
+                (rows, cols),
+                "dense param {name} re-registered with a different shape"
+            );
+            return DenseId(i);
+        }
+        let value = init(rows, cols);
+        assert_eq!(value.shape(), (rows, cols), "init returned wrong shape for {name}");
+        self.dense.push(DenseParam {
+            name: name.to_string(),
+            m: Tensor::zeros(rows, cols),
+            v: Tensor::zeros(rows, cols),
+            value,
+        });
+        DenseId(self.dense.len() - 1)
+    }
+
+    /// Create an embedding table, or return the existing one with this name.
+    pub fn table(
+        &mut self,
+        name: &str,
+        rows: usize,
+        dim: usize,
+        init: impl FnOnce(usize, usize) -> Tensor,
+    ) -> TableId {
+        if let Some(i) = self.tables.iter().position(|t| t.name == name) {
+            assert_eq!(
+                self.tables[i].value.shape(),
+                (rows, dim),
+                "table {name} re-registered with a different shape"
+            );
+            return TableId(i);
+        }
+        let value = init(rows, dim);
+        assert_eq!(value.shape(), (rows, dim), "init returned wrong shape for {name}");
+        self.tables.push(EmbeddingTable {
+            name: name.to_string(),
+            m: Tensor::zeros(rows, dim),
+            v: Tensor::zeros(rows, dim),
+            value,
+            dim,
+        });
+        TableId(self.tables.len() - 1)
+    }
+
+    /// Current value of a dense parameter.
+    pub fn dense_value(&self, id: DenseId) -> &Tensor {
+        &self.dense[id.0].value
+    }
+
+    /// Mutable value of a dense parameter (tests / manual surgery).
+    pub fn dense_value_mut(&mut self, id: DenseId) -> &mut Tensor {
+        &mut self.dense[id.0].value
+    }
+
+    /// Access an embedding table.
+    pub fn table_ref(&self, id: TableId) -> &EmbeddingTable {
+        &self.tables[id.0]
+    }
+
+    /// Mutable access to an embedding table's weights.
+    pub fn table_value_mut(&mut self, id: TableId) -> &mut Tensor {
+        &mut self.tables[id.0].value
+    }
+
+    /// Total number of scalar parameters (dense + embeddings).
+    pub fn num_params(&self) -> usize {
+        self.dense.iter().map(|p| p.value.len()).sum::<usize>()
+            + self.tables.iter().map(|t| t.value.len()).sum::<usize>()
+    }
+
+    /// Names of all registered dense parameters (diagnostics).
+    pub fn dense_names(&self) -> Vec<&str> {
+        self.dense.iter().map(|p| p.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_get_or_create_by_name() {
+        let mut s = ParamStore::new();
+        let a = s.dense("w", 2, 3, |r, c| Tensor::zeros(r, c));
+        let b = s.dense("w", 2, 3, |r, c| Tensor::full(r, c, 9.0));
+        assert_eq!(a, b);
+        assert_eq!(s.dense_value(a).get(0, 0), 0.0, "second init ignored");
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn dense_shape_conflict_panics() {
+        let mut s = ParamStore::new();
+        s.dense("w", 2, 3, |r, c| Tensor::zeros(r, c));
+        s.dense("w", 3, 2, |r, c| Tensor::zeros(r, c));
+    }
+
+    #[test]
+    fn table_gather() {
+        let mut s = ParamStore::new();
+        let t = s.table("emb", 4, 2, |r, c| {
+            Tensor::from_fn(r, c, |i, j| (i * 10 + j) as f32)
+        });
+        let g = s.table_ref(t).gather(&[3, 0, 3]);
+        assert_eq!(g.row(0), &[30.0, 31.0]);
+        assert_eq!(g.row(1), &[0.0, 1.0]);
+        assert_eq!(g.row(2), &[30.0, 31.0]);
+    }
+
+    #[test]
+    fn num_params_counts_everything() {
+        let mut s = ParamStore::new();
+        s.dense("w", 2, 3, |r, c| Tensor::zeros(r, c));
+        s.table("e", 5, 4, |r, c| Tensor::zeros(r, c));
+        assert_eq!(s.num_params(), 6 + 20);
+    }
+}
+
+/// A snapshot of every parameter value (not the optimiser moments), used by
+/// early stopping to restore the best-validation weights.
+pub struct StoreSnapshot {
+    dense: Vec<Tensor>,
+    tables: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// Clone all current parameter values.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            dense: self.dense.iter().map(|p| p.value.clone()).collect(),
+            tables: self.tables.iter().map(|t| t.value.clone()).collect(),
+        }
+    }
+
+    /// Restore values from a snapshot taken on this store. Parameters
+    /// registered *after* the snapshot keep their current values.
+    pub fn restore(&mut self, snap: &StoreSnapshot) {
+        for (p, v) in self.dense.iter_mut().zip(&snap.dense) {
+            p.value = v.clone();
+        }
+        for (t, v) in self.tables.iter_mut().zip(&snap.tables) {
+            t.value = v.clone();
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Dense row-major f32 matrices for the MISS reproduction.
+//!
+//! Every value flowing through the models is a 2-D [`Tensor`] with shape
+//! `(rows, cols)` over a single flat `Vec<f32>`. Higher-rank data (e.g. the
+//! paper's 3-D tensor `C ∈ R^{J×L×K}`, batched as `B×J×L×K`) is stored with
+//! the leading axes flattened into the row dimension; the crates that need
+//! the structure keep the axis sizes alongside and compute row indices
+//! explicitly. This keeps the kernel surface small and the memory layout
+//! cache-friendly (see the Rust Performance Book: flat buffers, `ikj` matmul
+//! loop order, no per-element allocation).
+
+mod ops;
+mod tensor;
+
+pub use tensor::Tensor;

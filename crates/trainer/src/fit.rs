@@ -1,0 +1,333 @@
+//! Fitting loops: joint multi-task training (Eq. 17) and the two-stage
+//! pre-training alternative compared in Table IX.
+
+use crate::evaluate::{evaluate, EvalResult};
+use miss_core::SslMethod;
+use miss_data::{BatchIter, Dataset};
+use miss_models::{CtrModel, ForwardOpts};
+use miss_nn::{Adam, Graph, ParamStore};
+use miss_tensor::Tensor;
+use miss_util::Rng;
+
+/// Training hyper-parameters (paper §VI-A5 ranges; defaults chosen from the
+/// validation grid at our scale).
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Adam learning rate.
+    pub lr: f32,
+    /// L2 regularisation weight.
+    pub l2: f32,
+    /// Mini-batch size (paper: 128).
+    pub batch_size: usize,
+    /// Upper bound on epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience (epochs without validation-AUC improvement).
+    pub patience: usize,
+    /// Seed for init-independent parts (shuffling, dropout, augmentation).
+    pub seed: u64,
+    /// Weight of a model's own auxiliary loss (DIEN), when present.
+    pub extra_loss_weight: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            lr: 1e-2,
+            l2: 1e-4,
+            batch_size: 128,
+            max_epochs: 15,
+            patience: 2,
+            seed: 0,
+            extra_loss_weight: 0.5,
+        }
+    }
+}
+
+/// Outcome of a fit: metrics of the best-validation epoch.
+#[derive(Clone, Debug)]
+pub struct FitOutcome {
+    /// Test metrics at the early-stopping point.
+    pub test: EvalResult,
+    /// Validation metrics at the early-stopping point.
+    pub valid: EvalResult,
+    /// Epochs actually run.
+    pub epochs: usize,
+}
+
+/// One training epoch. `ssl` optionally contributes its (already weighted)
+/// auxiliary loss; `ctr_loss` switches the main log-loss on/off (off during
+/// SSL-only pre-training). Returns the mean training loss.
+#[allow(clippy::too_many_arguments)]
+pub fn train_epoch(
+    model: &dyn CtrModel,
+    ssl: Option<&dyn SslMethod>,
+    store: &mut ParamStore,
+    adam: &mut Adam,
+    dataset: &Dataset,
+    cfg: &TrainConfig,
+    rng: &mut Rng,
+    ctr_loss: bool,
+) -> f64 {
+    let mut total = 0.0f64;
+    let mut batches = 0usize;
+    let mut shuffle_rng = rng.fork(0xEE0C);
+    for batch in BatchIter::new(
+        &dataset.train,
+        &dataset.schema,
+        cfg.batch_size,
+        Some(&mut shuffle_rng),
+    ) {
+        let mut g = Graph::new(store);
+        let mut opts = ForwardOpts {
+            training: true,
+            rng,
+        };
+        let mut loss = if ctr_loss {
+            let logits = model.forward(&mut g, store, &batch, &mut opts);
+            let labels = Tensor::from_vec(batch.size, 1, batch.labels.clone());
+            let mut l = g.tape.bce_with_logits_mean(logits, labels);
+            if let Some(extra) = model.extra_loss(&mut g, store, &batch, &mut opts) {
+                let w = g.tape.scale(extra, cfg.extra_loss_weight);
+                l = g.tape.add(l, w);
+            }
+            Some(l)
+        } else {
+            None
+        };
+        if let Some(method) = ssl {
+            if let Some(aux) = method.ssl_loss(&mut g, store, model.embedding(), &batch, rng) {
+                loss = Some(match loss {
+                    Some(l) => g.tape.add(l, aux),
+                    None => aux,
+                });
+            }
+        }
+        let Some(loss) = loss else { continue };
+        total += g.tape.value(loss).item() as f64;
+        batches += 1;
+        let grads = g.tape.backward(loss);
+        adam.step(store, &g, grads);
+    }
+    if batches == 0 {
+        0.0
+    } else {
+        total / batches as f64
+    }
+}
+
+/// Joint multi-task fit (the paper's default, "MISS-Joint"): minimise
+/// `L_ll + α₁·L_ssl + α₂·L_ssl'` end to end with early stopping on
+/// validation AUC; test metrics are reported at the best-validation epoch.
+pub fn fit(
+    model: &dyn CtrModel,
+    ssl: Option<&dyn SslMethod>,
+    store: &mut ParamStore,
+    dataset: &Dataset,
+    cfg: &TrainConfig,
+) -> FitOutcome {
+    let mut adam = Adam::new(cfg.lr, cfg.l2);
+    let mut rng = Rng::new(cfg.seed ^ 0xF17);
+    let mut best_valid = EvalResult {
+        auc: f64::NEG_INFINITY,
+        logloss: f64::INFINITY,
+    };
+    let mut best_snap = store.snapshot();
+    let mut bad_epochs = 0usize;
+    let mut epochs = 0usize;
+    for _ in 0..cfg.max_epochs {
+        epochs += 1;
+        train_epoch(model, ssl, store, &mut adam, dataset, cfg, &mut rng, true);
+        let valid = evaluate(model, store, &dataset.valid, &dataset.schema, 256);
+        if valid.auc > best_valid.auc {
+            best_valid = valid;
+            best_snap = store.snapshot();
+            bad_epochs = 0;
+        } else {
+            bad_epochs += 1;
+            if bad_epochs > cfg.patience {
+                break;
+            }
+        }
+    }
+    store.restore(&best_snap);
+    let test = evaluate(model, store, &dataset.test, &dataset.schema, 256);
+    FitOutcome {
+        test,
+        valid: best_valid,
+        epochs,
+    }
+}
+
+/// Two-stage strategy ("MISS-Pre", Table IX): first optimise only the SSL
+/// losses for `pretrain_epochs`, then fine-tune with the CTR loss alone.
+pub fn fit_pretrain(
+    model: &dyn CtrModel,
+    ssl: &dyn SslMethod,
+    store: &mut ParamStore,
+    dataset: &Dataset,
+    cfg: &TrainConfig,
+    pretrain_epochs: usize,
+) -> FitOutcome {
+    let mut adam = Adam::new(cfg.lr, cfg.l2);
+    let mut rng = Rng::new(cfg.seed ^ 0x9E7);
+    for _ in 0..pretrain_epochs {
+        train_epoch(
+            model,
+            Some(ssl),
+            store,
+            &mut adam,
+            dataset,
+            cfg,
+            &mut rng,
+            false,
+        );
+    }
+    // Fine-tune with the main loss only (fresh optimiser state, same story
+    // as re-initialising the heads on top of pre-trained embeddings).
+    fit(model, None, store, dataset, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miss_core::{Miss, MissConfig};
+    use miss_data::WorldConfig;
+    use miss_models::{Din, ModelConfig};
+
+    fn quick_cfg(seed: u64) -> TrainConfig {
+        TrainConfig {
+            max_epochs: 6,
+            patience: 2,
+            batch_size: 64,
+            seed,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn fit_improves_over_untrained() {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 7);
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(5);
+        let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+        let before = evaluate(&model, &store, &dataset.test, &dataset.schema, 128);
+        let out = fit(&model, None, &mut store, &dataset, &quick_cfg(5));
+        assert!(
+            out.test.auc > before.auc + 0.05,
+            "training did not help: {} -> {}",
+            before.auc,
+            out.test.auc
+        );
+        assert!(out.epochs >= 1);
+    }
+
+    #[test]
+    fn fit_with_miss_runs_and_is_finite() {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 9);
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(6);
+        let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+        let miss = Miss::new(&mut store, model.embedding(), MissConfig::default(), &mut rng);
+        let out = fit(&model, Some(&miss), &mut store, &dataset, &quick_cfg(6));
+        assert!(out.test.auc > 0.55, "DIN-MISS AUC {}", out.test.auc);
+        assert!(out.test.logloss.is_finite());
+    }
+
+    #[test]
+    fn pretrain_strategy_runs() {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 11);
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(8);
+        let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+        let miss = Miss::new(&mut store, model.embedding(), MissConfig::default(), &mut rng);
+        let out = fit_pretrain(&model, &miss, &mut store, &dataset, &quick_cfg(8), 2);
+        assert!(out.test.auc > 0.55, "MISS-Pre AUC {}", out.test.auc);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 13);
+        let run = |seed| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(seed);
+            let model =
+                Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+            fit(&model, None, &mut store, &dataset, &quick_cfg(seed)).test.auc
+        };
+        assert_eq!(run(3), run(3), "same seed must reproduce exactly");
+    }
+}
+
+/// A candidate hyper-parameter configuration for [`grid_search`].
+#[derive(Clone, Debug)]
+pub struct GridPoint {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight.
+    pub l2: f32,
+    /// Dropout ratio (applied via the model config by the caller's builder).
+    pub dropout: f32,
+}
+
+/// Validation-based hyper-parameter search (the paper's protocol, §VI-A5:
+/// lr, L2 and dropout are tuned on the validation set). Builds a fresh model
+/// per grid point with `build`, fits it, and returns the point with the best
+/// validation AUC together with its outcome.
+pub fn grid_search(
+    points: &[GridPoint],
+    dataset: &Dataset,
+    base_cfg: &TrainConfig,
+    mut build: impl FnMut(&GridPoint, &mut ParamStore) -> Box<dyn CtrModel>,
+) -> (GridPoint, FitOutcome) {
+    assert!(!points.is_empty(), "empty grid");
+    let mut best: Option<(GridPoint, FitOutcome)> = None;
+    for point in points {
+        let mut store = ParamStore::new();
+        let model = build(point, &mut store);
+        let cfg = TrainConfig {
+            lr: point.lr,
+            l2: point.l2,
+            ..base_cfg.clone()
+        };
+        let out = fit(model.as_ref(), None, &mut store, dataset, &cfg);
+        let better = match &best {
+            None => true,
+            Some((_, b)) => out.valid.auc > b.valid.auc,
+        };
+        if better {
+            best = Some((point.clone(), out));
+        }
+    }
+    best.expect("at least one grid point")
+}
+
+#[cfg(test)]
+mod grid_tests {
+    use super::*;
+    use miss_data::WorldConfig;
+    use miss_models::{Fm, ModelConfig};
+    use miss_util::Rng;
+
+    #[test]
+    fn grid_search_picks_a_point_and_reports_best_validation() {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 31);
+        let points = vec![
+            GridPoint { lr: 1e-2, l2: 1e-4, dropout: 0.0 },
+            GridPoint { lr: 1e-4, l2: 1e-4, dropout: 0.0 }, // too slow to learn
+        ];
+        let base = TrainConfig {
+            max_epochs: 3,
+            patience: 0,
+            ..TrainConfig::default()
+        };
+        let (chosen, out) = grid_search(&points, &dataset, &base, |p, store| {
+            let mut rng = Rng::new(7);
+            let mut mc = ModelConfig::default();
+            mc.dropout = p.dropout;
+            Box::new(Fm::new(store, &dataset.schema, &mc, &mut rng))
+        });
+        assert!(out.valid.auc > 0.5);
+        // with 3 epochs the healthy learning rate must win
+        assert_eq!(chosen.lr, 1e-2);
+    }
+}

@@ -1,0 +1,11 @@
+//! Training harness: fitting loops (joint multi-task and two-stage
+//! pre-training, Table IX), evaluation, early stopping on validation AUC,
+//! and the model/SSL registry the experiment binaries dispatch over.
+
+mod evaluate;
+mod fit;
+mod registry;
+
+pub use evaluate::{evaluate, evaluate_gauc, EvalResult};
+pub use fit::{fit, fit_pretrain, grid_search, train_epoch, FitOutcome, GridPoint, TrainConfig};
+pub use registry::{BaseModel, Experiment, SslKind, ALL_BASELINES};

@@ -1,0 +1,307 @@
+//! Registry of base models and SSL methods so experiment binaries dispatch
+//! by name, plus the [`Experiment`] runner (model × SSL × dataset × seeds).
+
+use crate::evaluate::EvalResult;
+use crate::fit::{fit, fit_pretrain, FitOutcome, TrainConfig};
+use miss_core::{Cl4SRec, Irssl, Miss, MissConfig, RuleSsl, S3Rec, SslMethod};
+use miss_data::{Dataset, Schema};
+use miss_models::{
+    AutoIntPlus, CtrModel, Dcn, DcnKind, DeepFm, Dien, Din, Dmr, FiGnn, Fm, Ipnn, Lr, ModelConfig,
+    SimSoft, XDeepFm,
+};
+use miss_nn::ParamStore;
+use miss_util::Rng;
+
+/// Every base CTR model of Table IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaseModel {
+    /// Logistic regression.
+    Lr,
+    /// Factorisation machine.
+    Fm,
+    /// DeepFM.
+    DeepFm,
+    /// Inner-product neural network.
+    Ipnn,
+    /// Deep & Cross (vector).
+    Dcn,
+    /// Deep & Cross v2 (matrix).
+    DcnM,
+    /// xDeepFM (CIN).
+    XDeepFm,
+    /// Deep Interest Network.
+    Din,
+    /// Deep Interest Evolution Network.
+    Dien,
+    /// Search-based interest model, soft search.
+    SimSoft,
+    /// Deep Match to Rank.
+    Dmr,
+    /// AutoInt plus DNN.
+    AutoIntPlus,
+    /// Field graph neural network.
+    FiGnn,
+}
+
+/// The Table IV roster in paper order.
+pub const ALL_BASELINES: [BaseModel; 13] = [
+    BaseModel::Lr,
+    BaseModel::Fm,
+    BaseModel::DeepFm,
+    BaseModel::Ipnn,
+    BaseModel::Dcn,
+    BaseModel::DcnM,
+    BaseModel::XDeepFm,
+    BaseModel::Din,
+    BaseModel::Dien,
+    BaseModel::SimSoft,
+    BaseModel::Dmr,
+    BaseModel::AutoIntPlus,
+    BaseModel::FiGnn,
+];
+
+impl BaseModel {
+    /// Display name as in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BaseModel::Lr => "LR",
+            BaseModel::Fm => "FM",
+            BaseModel::DeepFm => "DeepFM",
+            BaseModel::Ipnn => "IPNN",
+            BaseModel::Dcn => "DCN",
+            BaseModel::DcnM => "DCN-M",
+            BaseModel::XDeepFm => "xDeepFM",
+            BaseModel::Din => "DIN",
+            BaseModel::Dien => "DIEN",
+            BaseModel::SimSoft => "SIM(soft)",
+            BaseModel::Dmr => "DMR",
+            BaseModel::AutoIntPlus => "AutoInt+",
+            BaseModel::FiGnn => "FiGNN",
+        }
+    }
+
+    /// Construct the model over `store`.
+    pub fn build(
+        self,
+        store: &mut ParamStore,
+        schema: &Schema,
+        cfg: &ModelConfig,
+        rng: &mut Rng,
+    ) -> Box<dyn CtrModel> {
+        match self {
+            BaseModel::Lr => Box::new(Lr::new(store, schema, cfg, rng)),
+            BaseModel::Fm => Box::new(Fm::new(store, schema, cfg, rng)),
+            BaseModel::DeepFm => Box::new(DeepFm::new(store, schema, cfg, rng)),
+            BaseModel::Ipnn => Box::new(Ipnn::new(store, schema, cfg, rng)),
+            BaseModel::Dcn => Box::new(Dcn::new(store, schema, cfg, DcnKind::Vector, rng)),
+            BaseModel::DcnM => Box::new(Dcn::new(store, schema, cfg, DcnKind::Matrix, rng)),
+            BaseModel::XDeepFm => Box::new(XDeepFm::new(store, schema, cfg, rng)),
+            BaseModel::Din => Box::new(Din::new(store, schema, cfg, rng)),
+            BaseModel::Dien => Box::new(Dien::new(store, schema, cfg, rng)),
+            BaseModel::SimSoft => Box::new(SimSoft::new(store, schema, cfg, rng)),
+            BaseModel::Dmr => Box::new(Dmr::new(store, schema, cfg, rng)),
+            BaseModel::AutoIntPlus => Box::new(AutoIntPlus::new(store, schema, cfg, rng)),
+            BaseModel::FiGnn => Box::new(FiGnn::new(store, schema, cfg, rng)),
+        }
+    }
+}
+
+/// Which SSL method (if any) is attached to the base model.
+#[derive(Clone, Debug)]
+pub enum SslKind {
+    /// Base model alone.
+    None,
+    /// The MISS framework with the given configuration.
+    Miss(MissConfig),
+    /// Category-rule segmentation baseline.
+    Rule,
+    /// IRSSL feature masking.
+    Irssl,
+    /// S3Rec sequence–segment MIM.
+    S3Rec,
+    /// CL4SRec crop/mask/reorder.
+    Cl4SRec,
+}
+
+impl SslKind {
+    /// Suffix for experiment-table labels ("-MISS", "-Rule", ...).
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            SslKind::None => "",
+            SslKind::Miss(_) => "-MISS",
+            SslKind::Rule => "-Rule",
+            SslKind::Irssl => "-IRSSL",
+            SslKind::S3Rec => "-S3Rec",
+            SslKind::Cl4SRec => "-CL4SRec",
+        }
+    }
+
+    fn build(
+        &self,
+        store: &mut ParamStore,
+        emb: &miss_models::EmbeddingLayer,
+        rng: &mut Rng,
+    ) -> Option<Box<dyn SslMethod>> {
+        let alpha = 0.5;
+        match self {
+            SslKind::None => None,
+            SslKind::Miss(cfg) => Some(Box::new(Miss::new(store, emb, cfg.clone(), rng))),
+            SslKind::Rule => Some(Box::new(RuleSsl::new(store, emb, alpha, rng))),
+            SslKind::Irssl => Some(Box::new(Irssl::new(store, emb, alpha, rng))),
+            SslKind::S3Rec => Some(Box::new(S3Rec::new(store, emb, alpha, rng))),
+            SslKind::Cl4SRec => Some(Box::new(Cl4SRec::new(store, emb, alpha, rng))),
+        }
+    }
+}
+
+/// One experimental cell: a base model, an optional SSL plug-in, and the
+/// training configuration.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Base model.
+    pub base: BaseModel,
+    /// SSL attachment.
+    pub ssl: SslKind,
+    /// Model hyper-parameters.
+    pub model_cfg: ModelConfig,
+    /// Training hyper-parameters.
+    pub train_cfg: TrainConfig,
+    /// When true, use the two-stage pre-training strategy (Table IX) with
+    /// this many SSL-only epochs; joint training otherwise.
+    pub pretrain_epochs: Option<usize>,
+}
+
+impl Experiment {
+    /// Joint-training experiment with default hyper-parameters.
+    pub fn new(base: BaseModel, ssl: SslKind) -> Self {
+        Experiment {
+            base,
+            ssl,
+            model_cfg: ModelConfig::default(),
+            train_cfg: TrainConfig::default(),
+            pretrain_epochs: None,
+        }
+    }
+
+    /// Table label, e.g. "DIN-MISS".
+    pub fn label(&self) -> String {
+        format!("{}{}", self.base.label(), self.ssl.suffix())
+    }
+
+    /// Run once with the given seed; returns best-validation test metrics.
+    pub fn run(&self, dataset: &Dataset, seed: u64) -> FitOutcome {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(seed ^ 0xE9);
+        let model = self
+            .base
+            .build(&mut store, &dataset.schema, &self.model_cfg, &mut rng);
+        let ssl = self.ssl.build(&mut store, model.embedding(), &mut rng);
+        let mut cfg = self.train_cfg.clone();
+        cfg.seed = seed;
+        match (&ssl, self.pretrain_epochs) {
+            (Some(method), Some(pe)) => {
+                fit_pretrain(model.as_ref(), method.as_ref(), &mut store, dataset, &cfg, pe)
+            }
+            (Some(method), None) => {
+                fit(model.as_ref(), Some(method.as_ref()), &mut store, dataset, &cfg)
+            }
+            (None, _) => fit(model.as_ref(), None, &mut store, dataset, &cfg),
+        }
+    }
+
+    /// Run `reps` seeds and return the test metrics of each.
+    pub fn run_reps(&self, dataset: &Dataset, reps: usize) -> Vec<EvalResult> {
+        (0..reps as u64).map(|s| self.run(dataset, s).test).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miss_data::WorldConfig;
+
+    #[test]
+    fn labels() {
+        let e = Experiment::new(BaseModel::Din, SslKind::Miss(MissConfig::default()));
+        assert_eq!(e.label(), "DIN-MISS");
+        let e2 = Experiment::new(BaseModel::Ipnn, SslKind::None);
+        assert_eq!(e2.label(), "IPNN");
+    }
+
+    #[test]
+    fn roster_is_complete_and_ordered() {
+        assert_eq!(ALL_BASELINES.len(), 13);
+        assert_eq!(ALL_BASELINES[0].label(), "LR");
+        assert_eq!(ALL_BASELINES[12].label(), "FiGNN");
+    }
+
+    #[test]
+    fn every_base_model_builds_and_runs_one_epoch() {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 17);
+        for base in ALL_BASELINES {
+            let mut e = Experiment::new(base, SslKind::None);
+            e.train_cfg.max_epochs = 1;
+            e.train_cfg.patience = 0;
+            let out = e.run(&dataset, 0);
+            assert!(
+                out.test.auc.is_finite() && out.test.logloss.is_finite(),
+                "{} produced non-finite metrics",
+                base.label()
+            );
+        }
+    }
+
+    #[test]
+    fn ssl_kinds_build() {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 19);
+        for ssl in [
+            SslKind::Miss(MissConfig::default()),
+            SslKind::Rule,
+            SslKind::Irssl,
+            SslKind::S3Rec,
+            SslKind::Cl4SRec,
+        ] {
+            let mut e = Experiment::new(BaseModel::Ipnn, ssl);
+            e.train_cfg.max_epochs = 1;
+            e.train_cfg.patience = 0;
+            let out = e.run(&dataset, 0);
+            assert!(out.test.auc.is_finite(), "{} failed", e.label());
+        }
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use miss_data::WorldConfig;
+
+    #[test]
+    fn run_reps_counts_and_varies_with_seed() {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 23);
+        let mut e = Experiment::new(BaseModel::Fm, SslKind::None);
+        e.train_cfg.max_epochs = 2;
+        e.train_cfg.patience = 0;
+        let runs = e.run_reps(&dataset, 3);
+        assert_eq!(runs.len(), 3);
+        // different seeds must not be bit-identical
+        assert!(
+            runs[0].auc != runs[1].auc || runs[1].auc != runs[2].auc,
+            "three seeds produced identical AUCs: {:?}",
+            runs
+        );
+    }
+
+    #[test]
+    fn pretrain_experiment_goes_through_both_phases() {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 29);
+        let mut e = Experiment::new(
+            BaseModel::Din,
+            SslKind::Miss(miss_core::MissConfig::default()),
+        );
+        e.pretrain_epochs = Some(1);
+        e.train_cfg.max_epochs = 1;
+        e.train_cfg.patience = 0;
+        let out = e.run(&dataset, 0);
+        assert!(out.test.auc.is_finite());
+    }
+}

@@ -1,0 +1,18 @@
+//! Deterministic utilities shared across the MISS reproduction workspace.
+//!
+//! Everything random in the workspace flows through [`Rng`], a self-contained
+//! PCG-XSH-RR generator, so that every experiment is bit-reproducible across
+//! platforms and toolchain versions. The crate also provides the handful of
+//! distribution samplers the interest-world simulator needs (categorical,
+//! Dirichlet, Zipf), small order-statistics helpers, and the statistics used
+//! when reporting experiments (mean/std, paired t-test).
+
+mod order;
+mod rng;
+mod sample;
+mod stats;
+
+pub use order::{argsort_desc, top_k_desc};
+pub use rng::Rng;
+pub use sample::{Categorical, Zipf};
+pub use stats::{mean, mean_std, paired_t_significant, paired_t_statistic};

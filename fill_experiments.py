@@ -1,0 +1,14 @@
+#!/usr/bin/env python3
+"""Inline results/*.txt into EXPERIMENTS.md at the RESULTS markers."""
+import re, pathlib
+md = pathlib.Path("EXPERIMENTS.md").read_text()
+def repl(m):
+    name = m.group(1)
+    p = pathlib.Path(f"results/{name}.txt")
+    if not p.exists():
+        return m.group(0)
+    body = p.read_text().strip()
+    return f"```text\n{body}\n```"
+md = re.sub(r"<!-- RESULTS:(\w+) -->", repl, md)
+pathlib.Path("EXPERIMENTS.md").write_text(md)
+print("filled")

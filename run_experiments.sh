@@ -1,0 +1,44 @@
+#!/bin/bash
+# Regenerate every table and figure of the paper. Results land in results/.
+#
+# Table IV (the headline comparison) runs at a larger dataset scale because
+# the deep-vs-shallow baseline ordering is a data-volume effect (see
+# EXPERIMENTS.md); the ablation/compatibility tables run at a smaller scale
+# where the MISS-vs-base shapes are already stable.
+#
+# Usage: ./run_experiments.sh [--quick]
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+SCALE_MAIN=3.5
+SCALE_SIDE=1.5
+REPS_MAIN=2
+REPS_SIDE=2
+REPS_FIG=1
+if [ "${1:-}" = "--quick" ]; then
+    SCALE_MAIN=1.0
+    SCALE_SIDE=1.0
+    REPS_MAIN=1
+    REPS_SIDE=1
+fi
+
+run() {
+    local bin=$1; shift
+    echo "=== running $bin $* ==="
+    cargo run --release -q -p miss-bench --bin "$bin" -- "$@" >"results/$bin.txt" 2>"results/$bin.log"
+    echo "--- $bin done ---"
+}
+
+run table03 --scale $SCALE_MAIN
+run table04 --scale $SCALE_MAIN --reps $REPS_MAIN
+run table05 --scale $SCALE_SIDE --reps $REPS_SIDE
+run table06 --scale $SCALE_SIDE --reps $REPS_SIDE
+run table07 --scale $SCALE_SIDE --reps $REPS_SIDE
+run table08 --scale $SCALE_SIDE --reps $REPS_SIDE
+run table09 --scale $SCALE_SIDE --reps $REPS_SIDE
+run table10 --scale $SCALE_SIDE --reps $REPS_SIDE
+run table11 --scale $SCALE_SIDE --reps $REPS_SIDE
+run fig05 --scale $SCALE_SIDE
+run fig06 --scale $SCALE_SIDE --reps $REPS_FIG
+run fig07 --scale $SCALE_SIDE --reps $REPS_FIG
+echo "ALL EXPERIMENTS COMPLETE"

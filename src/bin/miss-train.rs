@@ -1,0 +1,148 @@
+//! Command-line interface for training, evaluating, and inspecting models.
+//!
+//! ```text
+//! miss-train stats  --dataset cds|books|alipay|tiny [--scale F]
+//! miss-train train  --dataset cds --model DIN [--miss] [--scale F]
+//!                   [--seed N] [--epochs N] [--out model.ckpt]
+//! miss-train eval   --dataset cds --model DIN --ckpt model.ckpt [--miss]
+//! ```
+
+#![allow(clippy::field_reassign_with_default)]
+
+use miss::core::MissConfig;
+use miss::data::{Dataset, WorldConfig};
+use miss::nn::ParamStore;
+use miss::trainer::{evaluate, BaseModel, Experiment, SslKind, TrainConfig, ALL_BASELINES};
+use miss::util::Rng;
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    values: Vec<String>,
+}
+
+impl Args {
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .position(|a| a == flag)
+            .map(|i| self.values[i + 1].as_str())
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.values.iter().any(|a| a == flag)
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  miss-train stats --dataset <cds|books|alipay|tiny> [--scale F]\n  \
+         miss-train train --dataset <ds> --model <name> [--miss] [--seed N] [--epochs N] [--out FILE]\n  \
+         miss-train eval  --dataset <ds> --model <name> --ckpt FILE [--miss]\n\nmodels: {}",
+        ALL_BASELINES
+            .iter()
+            .map(|b| b.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    exit(2)
+}
+
+fn world(args: &Args) -> WorldConfig {
+    let scale: f64 = args.get("--scale").map(|s| s.parse().unwrap()).unwrap_or(1.0);
+    match args.get("--dataset").unwrap_or_else(|| usage()) {
+        "cds" => WorldConfig::amazon_cds(scale),
+        "books" => WorldConfig::amazon_books(scale),
+        "alipay" => WorldConfig::alipay(scale),
+        "tiny" => WorldConfig::tiny(),
+        other => {
+            eprintln!("unknown dataset {other}");
+            usage()
+        }
+    }
+}
+
+fn model(args: &Args) -> BaseModel {
+    let name = args.get("--model").unwrap_or("DIN");
+    ALL_BASELINES
+        .into_iter()
+        .find(|b| b.label().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown model {name}");
+            usage()
+        })
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else { usage() };
+    let args = Args { values: raw };
+
+    match cmd.as_str() {
+        "stats" => {
+            let dataset = Dataset::generate(world(&args), 0xDA7A);
+            let s = dataset.stats();
+            println!("dataset    : {}", s.name);
+            println!("users      : {}", s.users);
+            println!("items      : {}", s.items);
+            println!("instances  : {}", s.instances);
+            println!("features   : {}", s.features);
+            println!("fields     : {}", s.fields);
+        }
+        "train" => {
+            let dataset = Dataset::generate(world(&args), 0xDA7A);
+            let base = model(&args);
+            let ssl = if args.has("--miss") {
+                SslKind::Miss(MissConfig::default())
+            } else {
+                SslKind::None
+            };
+            let seed: u64 = args.get("--seed").map(|s| s.parse().unwrap()).unwrap_or(0);
+            let mut e = Experiment::new(base, ssl);
+            if let Some(epochs) = args.get("--epochs") {
+                e.train_cfg.max_epochs = epochs.parse().unwrap();
+            }
+            println!("training {} on {} (seed {seed})...", e.label(), dataset.name);
+            let out = e.run(&dataset, seed);
+            println!(
+                "test AUC {:.4}  Logloss {:.4}  ({} epochs)",
+                out.test.auc, out.test.logloss, out.epochs
+            );
+            if let Some(path) = args.get("--out") {
+                // re-train in place to produce a persistable store
+                let mut store = ParamStore::new();
+                let mut rng = Rng::new(seed ^ 0xE9);
+                let m = base.build(&mut store, &dataset.schema, &e.model_cfg, &mut rng);
+                let mut cfg = TrainConfig::default();
+                cfg.seed = seed;
+                if let Some(epochs) = args.get("--epochs") {
+                    cfg.max_epochs = epochs.parse().unwrap();
+                }
+                miss::trainer::fit(m.as_ref(), None, &mut store, &dataset, &cfg);
+                store
+                    .save_to_path(&PathBuf::from(path))
+                    .expect("failed to write checkpoint");
+                println!("checkpoint written to {path}");
+            }
+        }
+        "eval" => {
+            let dataset = Dataset::generate(world(&args), 0xDA7A);
+            let base = model(&args);
+            let ckpt = args.get("--ckpt").unwrap_or_else(|| usage());
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(0xE9);
+            let m = base.build(
+                &mut store,
+                &dataset.schema,
+                &miss::models::ModelConfig::default(),
+                &mut rng,
+            );
+            store
+                .load_from_path(&PathBuf::from(ckpt))
+                .expect("failed to read checkpoint");
+            let r = evaluate(m.as_ref(), &store, &dataset.test, &dataset.schema, 256);
+            println!("test AUC {:.4}  Logloss {:.4}", r.auc, r.logloss);
+        }
+        _ => usage(),
+    }
+}

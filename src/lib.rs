@@ -1,0 +1,30 @@
+//! # MISS — Multi-Interest Self-Supervised Learning for CTR Prediction
+//!
+//! A full-from-scratch Rust reproduction of the ICDE 2022 paper
+//! *"MISS: Multi-Interest Self-Supervised Learning Framework for
+//! Click-Through Rate Prediction"*.
+//!
+//! This facade crate re-exports the workspace crates so downstream users can
+//! depend on a single crate:
+//!
+//! - [`util`] — deterministic RNG, samplers, statistics;
+//! - [`tensor`] — dense f32 tensors;
+//! - [`autograd`] — tape-based reverse-mode automatic differentiation;
+//! - [`nn`] — layers, parameter store, Adam optimiser;
+//! - [`data`] — the interest-world behavioural simulator and dataset pipeline;
+//! - [`metrics`] — AUC / Logloss;
+//! - [`models`] — the thirteen baseline CTR models (LR … FiGNN);
+//! - [`core`] — the MISS framework itself plus the SSL comparison methods;
+//! - [`trainer`] — training loops, early stopping, multi-seed evaluation.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+pub use miss_autograd as autograd;
+pub use miss_core as core;
+pub use miss_data as data;
+pub use miss_metrics as metrics;
+pub use miss_models as models;
+pub use miss_nn as nn;
+pub use miss_tensor as tensor;
+pub use miss_trainer as trainer;
+pub use miss_util as util;
