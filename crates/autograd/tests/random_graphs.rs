@@ -4,7 +4,7 @@
 
 use miss_autograd::{gradcheck, Tape};
 use miss_tensor::Tensor;
-use proptest::prelude::*;
+use miss_testkit::{prop_assert, prop_assert_eq, properties};
 
 fn smooth_matrix(r: usize, c: usize, seed: i32) -> Tensor {
     Tensor::from_fn(r, c, |i, j| {
@@ -18,10 +18,9 @@ fn smooth_matrix(r: usize, c: usize, seed: i32) -> Tensor {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+properties! {
+    #![config(cases = 24)]
 
-    #[test]
     fn matmul_grad_random_shapes(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0i32..50) {
         let a = smooth_matrix(m, k, seed);
         let b = smooth_matrix(k, n, seed + 1);
@@ -36,7 +35,6 @@ proptest! {
         );
     }
 
-    #[test]
     fn deep_composition_grad(r in 2usize..5, c in 2usize..5, seed in 0i32..50) {
         let x = smooth_matrix(r, c, seed);
         let w = smooth_matrix(c, 3, seed + 2);
@@ -54,7 +52,6 @@ proptest! {
         );
     }
 
-    #[test]
     fn bmm_pipeline_grad(blocks in 1usize..4, p in 1usize..3, k in 2usize..5, seed in 0i32..30) {
         let a = smooth_matrix(blocks * p, k, seed);
         let b = smooth_matrix(blocks * p, k, seed + 3);
@@ -71,7 +68,6 @@ proptest! {
         );
     }
 
-    #[test]
     fn info_nce_grad_random(b in 2usize..5, d in 2usize..6, seed in 0i32..30) {
         let z1 = smooth_matrix(b, d, seed);
         let z2 = smooth_matrix(b, d, seed + 7);
@@ -82,7 +78,6 @@ proptest! {
         );
     }
 
-    #[test]
     fn fanout_and_reuse_grad(r in 2usize..5, c in 2usize..5, seed in 0i32..30) {
         // same leaf used through three different paths
         let x = smooth_matrix(r, c, seed);
@@ -100,7 +95,6 @@ proptest! {
         );
     }
 
-    #[test]
     fn backward_never_panics_on_valid_graphs(r in 1usize..6, c in 1usize..6, seed in 0i32..100) {
         let mut tape = Tape::new();
         let x = tape.leaf(smooth_matrix(r, c, seed));

@@ -1,13 +1,13 @@
 //! Data-pipeline throughput: world generation, batch assembly, and metric
 //! computation.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use miss_data::{Batch, Dataset, Sample, WorldConfig};
 use miss_metrics::{auc, logloss};
+use miss_testkit::bench::{black_box, BenchGroup};
 use miss_util::Rng;
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("data_pipeline");
+fn main() {
+    let mut group = BenchGroup::new("data_pipeline");
     group.sample_size(10);
 
     group.bench_function("generate_tiny_world_dataset", |b| {
@@ -34,6 +34,3 @@ fn bench_pipeline(c: &mut Criterion) {
 
     group.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

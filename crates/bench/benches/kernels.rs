@@ -1,10 +1,10 @@
 //! Micro-benchmarks of the dense kernels every model is built from.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use miss_tensor::Tensor;
+use miss_testkit::bench::{black_box, BenchGroup};
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernels");
+fn main() {
+    let mut group = BenchGroup::new("kernels");
     group.sample_size(20);
 
     // The paper's shapes: batch 128, L = 30, K = 10, MLP width 40.
@@ -41,6 +41,3 @@ fn bench_kernels(c: &mut Criterion) {
 
     group.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! Per-training-step latency of the main models, and the overhead the MISS
 //! plug-in adds to a DIN step (the practical cost of Eq. 17's extra terms).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use miss_core::{Miss, MissConfig, SslMethod};
 use miss_data::{Batch, Dataset, Sample, WorldConfig};
 use miss_models::{CtrModel, Din, ForwardOpts, Ipnn, ModelConfig};
 use miss_nn::{Adam, Graph, ParamStore};
 use miss_tensor::Tensor;
+use miss_testkit::bench::BenchGroup;
 use miss_util::Rng;
 
 fn setup() -> (Dataset, Batch) {
@@ -16,8 +16,8 @@ fn setup() -> (Dataset, Batch) {
     (dataset, batch)
 }
 
-fn bench_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("training_step");
+fn main() {
+    let mut group = BenchGroup::new("training_step");
     group.sample_size(20);
     let (dataset, batch) = setup();
 
@@ -97,6 +97,3 @@ fn bench_steps(c: &mut Criterion) {
 
     group.finish();
 }
-
-criterion_group!(benches, bench_steps);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! configurations — the guarantees every model and experiment relies on.
 
 use miss_data::{Dataset, World, WorldConfig};
-use proptest::prelude::*;
+use miss_testkit::{prop_assert, prop_assert_eq, prop_assume, properties, Strategy, StrategyExt};
 use std::collections::HashSet;
 
 fn arb_config() -> impl Strategy<Value = WorldConfig> {
@@ -39,10 +39,9 @@ fn arb_config() -> impl Strategy<Value = WorldConfig> {
         )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+properties! {
+    #![config(cases = 24)]
 
-    #[test]
     fn generation_is_total_and_consistent(cfg in arb_config(), seed in 0u64..1000) {
         let world = World::generate(cfg.clone(), seed);
         // every kept user meets the filter
@@ -56,7 +55,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn split_protocol_holds_for_any_world(cfg in arb_config(), seed in 0u64..1000) {
         let world = World::generate(cfg, seed);
         prop_assume!(!world.users.is_empty());
@@ -80,7 +78,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn transforms_compose_safely(
         cfg in arb_config(),
         seed in 0u64..500,

@@ -141,22 +141,87 @@ mod tests {
         assert!(relative_improvement(0.9, 0.81) < 0.0);
     }
 
-    // Property-style checks without proptest (the crate has no inputs large
-    // enough to warrant it): random score perturbations must keep AUC within
-    // bounds.
+    // ---------------- edge cases ----------------
+
     #[test]
-    fn auc_always_in_unit_interval() {
-        let mut seed = 123456789u64;
-        let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((seed >> 33) as f32) / (u32::MAX >> 1) as f32
-        };
-        for _ in 0..50 {
-            let n = 37;
-            let scores: Vec<f32> = (0..n).map(|_| next()).collect();
-            let labels: Vec<f32> = (0..n).map(|_| if next() > 0.5 { 1.0 } else { 0.0 }).collect();
+    fn auc_all_positive_labels_is_neutral() {
+        assert_eq!(auc(&[0.2, 0.9, 0.5], &[1.0, 1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn auc_all_negative_labels_is_neutral() {
+        assert_eq!(auc(&[0.2, 0.9, 0.5], &[0.0, 0.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn auc_single_element_is_neutral() {
+        assert_eq!(auc(&[0.7], &[1.0]), 0.5);
+        assert_eq!(auc(&[0.7], &[0.0]), 0.5);
+    }
+
+    #[test]
+    fn auc_partial_ties_average_rank() {
+        // positive tied with one of two negatives: the tie contributes half
+        // credit -> AUC = (1 + 0.5) / 2 = 0.75
+        let scores = [0.5f32, 0.5, 0.1];
+        let labels = [1.0f32, 0.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logloss_clips_probability_zero_and_one() {
+        // exactly-right extreme predictions: clamped to eps, near-zero loss
+        let perfect = logloss(&[1.0, 0.0], &[1.0, 0.0]);
+        assert!(perfect > 0.0, "clamping keeps the loss strictly positive");
+        assert!(perfect < 1e-5);
+        // exactly-wrong extreme predictions: clamped to -ln(eps) per sample
+        let worst = logloss(&[0.0, 1.0], &[1.0, 0.0]);
+        let expect = -(1e-7f64).ln();
+        assert!((worst - expect).abs() < 1e-6, "worst {worst} vs {expect}");
+    }
+
+    #[test]
+    fn logloss_single_element() {
+        let l = logloss(&[0.25], &[1.0]);
+        assert!((l - -(0.25f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn logloss_empty_is_zero() {
+        assert_eq!(logloss(&[], &[]), 0.0);
+    }
+}
+
+// Property tests (miss-testkit): random score/label perturbations must keep
+// the metrics within their hard bounds.
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use miss_testkit::{bools, prop_assert, properties, vec_of};
+
+    properties! {
+        #![config(cases = 50)]
+
+        fn auc_always_in_unit_interval(pairs in vec_of((0.0f32..1.0, bools()), 1..64)) {
+            let scores: Vec<f32> = pairs.iter().map(|&(s, _)| s).collect();
+            let labels: Vec<f32> = pairs.iter().map(|&(_, y)| y as u8 as f32).collect();
             let a = auc(&scores, &labels);
-            assert!((0.0..=1.0).contains(&a));
+            prop_assert!((0.0..=1.0).contains(&a), "AUC {} out of bounds", a);
+        }
+
+        fn logloss_always_finite_nonnegative(pairs in vec_of((0.0f32..=1.0, bools()), 1..64)) {
+            let probs: Vec<f32> = pairs.iter().map(|&(p, _)| p).collect();
+            let labels: Vec<f32> = pairs.iter().map(|&(_, y)| y as u8 as f32).collect();
+            let l = logloss(&probs, &labels);
+            prop_assert!(l.is_finite() && l >= 0.0, "logloss {}", l);
+        }
+
+        fn gauc_always_in_unit_interval(pairs in vec_of((0.0f32..1.0, bools(), 0u32..5), 1..64)) {
+            let scores: Vec<f32> = pairs.iter().map(|&(s, _, _)| s).collect();
+            let labels: Vec<f32> = pairs.iter().map(|&(_, y, _)| y as u8 as f32).collect();
+            let groups: Vec<u32> = pairs.iter().map(|&(_, _, g)| g).collect();
+            let g = gauc(&scores, &labels, &groups);
+            prop_assert!((0.0..=1.0).contains(&g), "GAUC {} out of bounds", g);
         }
     }
 }

@@ -1,0 +1,133 @@
+//! Property tests for the dense kernels: every matmul/bmm variant must agree
+//! with a naive reference implementation on random shapes, and the transpose
+//! identity `A@B == (Bᵀ@Aᵀ)ᵀ` must hold.
+
+use miss_tensor::Tensor;
+use miss_testkit::{prop_assert, prop_assert_eq, properties, vec_of, Strategy, StrategyExt};
+
+/// Entries rounded to two decimals in [-3, 3]: exercises cancellation and the
+/// kernels' `av == 0.0` skip path without drowning comparisons in float noise.
+fn entries(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    vec_of((-3.0f32..3.0).prop_map(|x| (x * 100.0).round() / 100.0), n..n + 1)
+}
+
+fn tensor_from(rows: usize, cols: usize, buf: &[f32]) -> Tensor {
+    Tensor::from_vec(rows, cols, buf[..rows * cols].to_vec())
+}
+
+/// Textbook triple loop; the ground truth every kernel is checked against.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows());
+    Tensor::from_fn(a.rows(), b.cols(), |i, j| {
+        (0..a.cols()).map(|p| a.get(i, p) * b.get(p, j)).sum()
+    })
+}
+
+fn assert_close(lhs: &Tensor, rhs: &Tensor) -> Result<(), miss_testkit::PropFail> {
+    prop_assert_eq!(lhs.shape(), rhs.shape());
+    for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+        prop_assert!(
+            (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())),
+            "{} vs {}",
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+properties! {
+    #![config(cases = 48)]
+
+    fn matmul_nn_matches_reference(
+        m in 1usize..7, k in 1usize..7, n in 1usize..7,
+        av in entries(36), bv in entries(36),
+    ) {
+        let a = tensor_from(m, k, &av);
+        let b = tensor_from(k, n, &bv);
+        assert_close(&a.matmul_nn(&b), &naive_matmul(&a, &b))?;
+    }
+
+    fn matmul_nt_matches_reference(
+        m in 1usize..7, k in 1usize..7, n in 1usize..7,
+        av in entries(36), bv in entries(36),
+    ) {
+        let a = tensor_from(m, k, &av);
+        let b = tensor_from(n, k, &bv); // n×k, multiplied transposed
+        assert_close(&a.matmul_nt(&b), &naive_matmul(&a, &b.transpose()))?;
+    }
+
+    fn matmul_tn_matches_reference(
+        m in 1usize..7, k in 1usize..7, n in 1usize..7,
+        av in entries(36), bv in entries(36),
+    ) {
+        let a = tensor_from(k, m, &av); // k×m, multiplied transposed
+        let b = tensor_from(k, n, &bv);
+        assert_close(&a.matmul_tn(&b), &naive_matmul(&a.transpose(), &b))?;
+    }
+
+    fn transpose_identity_holds(
+        m in 1usize..7, k in 1usize..7, n in 1usize..7,
+        av in entries(36), bv in entries(36),
+    ) {
+        // A@B == (Bᵀ@Aᵀ)ᵀ
+        let a = tensor_from(m, k, &av);
+        let b = tensor_from(k, n, &bv);
+        let direct = a.matmul_nn(&b);
+        let via_transpose = b.transpose().matmul_nn(&a.transpose()).transpose();
+        assert_close(&direct, &via_transpose)?;
+    }
+
+    fn nt_tn_consistent_with_nn(
+        m in 1usize..7, k in 1usize..7, n in 1usize..7,
+        av in entries(36), bv in entries(36),
+    ) {
+        let a = tensor_from(m, k, &av);
+        let b = tensor_from(n, k, &bv);
+        // a @ bᵀ two ways
+        assert_close(&a.matmul_nt(&b), &a.matmul_nn(&b.transpose()))?;
+        // aᵀ' @ b' two ways, reusing the same buffers reshaped
+        let at = a.transpose(); // k×m as stored; matmul_tn transposes it back
+        assert_close(&at.matmul_tn(&tensor_from(k, n, &bv)), &naive_matmul(&a, &tensor_from(k, n, &bv)))?;
+    }
+
+    fn bmm_nt_matches_per_block_reference(
+        blocks in 1usize..4, p in 1usize..4, q in 1usize..4, k in 1usize..5,
+        av in entries(60), bv in entries(60),
+    ) {
+        let a = tensor_from(blocks * p, k, &av);
+        let b = tensor_from(blocks * q, k, &bv);
+        let out = a.bmm_nt(&b, blocks);
+        prop_assert_eq!(out.shape(), (blocks * p, q));
+        for blk in 0..blocks {
+            let ablk = Tensor::from_fn(p, k, |r, c| a.get(blk * p + r, c));
+            let bblk = Tensor::from_fn(q, k, |r, c| b.get(blk * q + r, c));
+            let expect = naive_matmul(&ablk, &bblk.transpose());
+            for r in 0..p {
+                let got = Tensor::from_fn(1, q, |_, c| out.get(blk * p + r, c));
+                let want = Tensor::from_fn(1, q, |_, c| expect.get(r, c));
+                assert_close(&got, &want)?;
+            }
+        }
+    }
+
+    fn bmm_nn_matches_per_block_reference(
+        blocks in 1usize..4, p in 1usize..4, q in 1usize..4, k in 1usize..5,
+        av in entries(48), bv in entries(60),
+    ) {
+        let a = tensor_from(blocks * p, q, &av);
+        let b = tensor_from(blocks * q, k, &bv);
+        let out = a.bmm_nn(&b, blocks);
+        prop_assert_eq!(out.shape(), (blocks * p, k));
+        for blk in 0..blocks {
+            let ablk = Tensor::from_fn(p, q, |r, c| a.get(blk * p + r, c));
+            let bblk = Tensor::from_fn(q, k, |r, c| b.get(blk * q + r, c));
+            let expect = naive_matmul(&ablk, &bblk);
+            for r in 0..p {
+                let got = Tensor::from_fn(1, k, |_, c| out.get(blk * p + r, c));
+                let want = Tensor::from_fn(1, k, |_, c| expect.get(r, c));
+                assert_close(&got, &want)?;
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Hermetic test & bench substrate for the workspace.
+//!
+//! The build environment has no network access, so this crate replaces the
+//! two external dev-dependencies the workspace used to pull from crates.io:
+//!
+//! * **`proptest`** → a deterministic property-testing runner: the
+//!   [`properties!`] macro plus generator combinators ([`strategy`]) seeded
+//!   from [`miss_util::Rng`], with greedy input shrinking. Failures print the
+//!   failing case seed and the shrunk input; `TESTKIT_SEED=<seed>` replays a
+//!   failure exactly and `TESTKIT_CASES=<n>` overrides the case count.
+//! * **`criterion`** → a microbench harness ([`bench`]): warmup, N timed
+//!   iterations, median/p95 wall-clock, `black_box`, and machine-readable
+//!   `BENCH_<group>.json` output at the workspace root.
+//!
+//! Everything is seeded from the workspace's own PCG32, so a test failure is
+//! bit-reproducible on any machine.
+
+pub mod bench;
+mod macros;
+pub mod runner;
+pub mod strategy;
+
+pub use runner::{run, Config, PropFail, PropResult};
+pub use strategy::{bools, vec_of, Strategy, StrategyExt};

@@ -1,0 +1,124 @@
+//! The `properties!` entry macro and the `prop_assert*` / `prop_assume!`
+//! assertion macros (API modelled on proptest so porting is mechanical).
+
+/// Declare property tests. Each item becomes a `#[test]` that draws inputs
+/// from the listed strategies, runs the body over `cases` deterministic
+/// cases, and shrinks failing inputs.
+///
+/// ```ignore
+/// miss_testkit::properties! {
+///     #![config(cases = 32)]
+///     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! properties {
+    ( #![config( $($key:ident = $val:expr),* $(,)? )] $($rest:tt)* ) => {
+        $crate::__properties_impl! { cfg = { $($key = $val),* } ; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__properties_impl! { cfg = { } ; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __properties_impl {
+    ( cfg = { $($key:ident = $val:expr),* } ; ) => {};
+    ( cfg = { $($key:ident = $val:expr),* } ;
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $pat:pat_param in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_mut)]
+            let mut __cfg = $crate::Config::default();
+            $( __cfg.$key = $val; )*
+            let __strategy = ( $( $strat, )+ );
+            $crate::run(stringify!($name), &__cfg, &__strategy, |__value| {
+                #[allow(unused_parens, unused_variables)]
+                let ( $( $pat, )+ ) = ::core::clone::Clone::clone(__value);
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__properties_impl! { cfg = { $($key = $val),* } ; $($rest)* }
+    };
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::PropFail::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::PropFail::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::PropFail::Fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left:  {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::PropFail::Fail(::std::format!(
+                "{}\n  left:  {:?}\n  right: {:?}",
+                ::std::format!($($fmt)+),
+                __l,
+                __r,
+            )));
+        }
+    }};
+}
+
+/// Fail the current property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::PropFail::Fail(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+            )));
+        }
+    }};
+}
+
+/// Discard the current input (draw a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::PropFail::Reject);
+        }
+    };
+}

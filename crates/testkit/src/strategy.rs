@@ -1,0 +1,377 @@
+//! Generator combinators ("strategies") for property tests.
+//!
+//! A [`Strategy`] produces a `Raw` representation from an [`Rng`] stream and
+//! realises it into the `Value` the test sees. Shrinking operates on `Raw`,
+//! which is what lets mapped strategies (e.g. a tuple mapped into a config
+//! struct) shrink through the mapping: the raw tuple shrinks, the map
+//! re-applies.
+
+use miss_util::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test inputs with greedy shrinking support.
+pub trait Strategy {
+    /// Internal representation; what shrinking manipulates.
+    type Raw: Clone;
+    /// What the property receives.
+    type Value: Clone + Debug;
+
+    /// Draw one raw input from the deterministic stream.
+    fn generate_raw(&self, rng: &mut Rng) -> Self::Raw;
+    /// Candidate simplifications of `raw`, most aggressive first. May be
+    /// empty (fully shrunk). Candidates need not be exhaustive: the runner
+    /// loops greedily until no candidate still fails.
+    fn shrink_raw(&self, raw: &Self::Raw) -> Vec<Self::Raw>;
+    /// Turn a raw input into the value handed to the property.
+    fn realize(&self, raw: &Self::Raw) -> Self::Value;
+}
+
+// ---------------------------------------------------------------------------
+// Integer ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Raw = $t;
+            type Value = $t;
+
+            fn generate_raw(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is < span/2^64; irrelevant at test-range sizes.
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+
+            fn shrink_raw(&self, raw: &$t) -> Vec<$t> {
+                shrink_int(self.start as i128, *raw as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+
+            fn realize(&self, raw: &$t) -> $t {
+                *raw
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Raw = $t;
+            type Value = $t;
+
+            fn generate_raw(&self, rng: &mut Rng) -> $t {
+                assert!(self.start() <= self.end(), "empty range");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (*self.start() as i128 + off as i128) as $t
+            }
+
+            fn shrink_raw(&self, raw: &$t) -> Vec<$t> {
+                shrink_int(*self.start() as i128, *raw as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+
+            fn realize(&self, raw: &$t) -> $t {
+                *raw
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// Candidates between `lo` and `v`: `lo` first, then a binary ladder
+/// `v - d/2, v - d/4, …, v - 1`. Greedy retries over this ladder converge to
+/// a boundary counterexample in O(log² d) evaluations, like a bisection.
+fn shrink_int(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v == lo {
+        return out;
+    }
+    out.push(lo);
+    let mut step = (v - lo) / 2;
+    while step > 0 {
+        let cand = v - step;
+        if cand != lo && !out.contains(&cand) {
+            out.push(cand);
+        }
+        step /= 2;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Float ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Raw = $t;
+            type Value = $t;
+
+            fn generate_raw(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                // Occasionally pin the low endpoint for edge coverage.
+                if rng.below(32) == 0 {
+                    return self.start;
+                }
+                self.start + (self.end - self.start) * rng.f64() as $t
+            }
+
+            fn shrink_raw(&self, raw: &$t) -> Vec<$t> {
+                shrink_float(self.start as f64, self.end as f64, *raw as f64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+
+            fn realize(&self, raw: &$t) -> $t {
+                *raw
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Raw = $t;
+            type Value = $t;
+
+            fn generate_raw(&self, rng: &mut Rng) -> $t {
+                assert!(self.start() <= self.end(), "empty range");
+                // Pin the endpoints now and then: inclusive bounds are the
+                // interesting edge cases (e.g. probability 0.0 / 1.0).
+                match rng.below(32) {
+                    0 => *self.start(),
+                    1 => *self.end(),
+                    _ => *self.start() + (*self.end() - *self.start()) * rng.f64() as $t,
+                }
+            }
+
+            fn shrink_raw(&self, raw: &$t) -> Vec<$t> {
+                shrink_float(*self.start() as f64, *self.end() as f64, *raw as f64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+
+            fn realize(&self, raw: &$t) -> $t {
+                *raw
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Candidates toward `lo`, preferring "round" values (0, integers).
+fn shrink_float(lo: f64, hi: f64, v: f64) -> Vec<f64> {
+    let mut out: Vec<f64> = Vec::new();
+    let mut push = |x: f64| {
+        if x != v && x >= lo && x <= hi && !out.contains(&x) {
+            out.push(x);
+        }
+    };
+    push(lo);
+    if lo <= 0.0 && 0.0 <= hi {
+        push(0.0);
+    }
+    push(v.trunc());
+    push(lo + (v - lo) / 2.0);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Booleans
+// ---------------------------------------------------------------------------
+
+/// Fair coin strategy; `true` shrinks to `false`.
+#[derive(Clone, Copy, Debug)]
+pub struct Bools;
+
+/// A uniformly random `bool` (replacement for proptest's `any::<bool>()`).
+pub fn bools() -> Bools {
+    Bools
+}
+
+impl Strategy for Bools {
+    type Raw = bool;
+    type Value = bool;
+
+    fn generate_raw(&self, rng: &mut Rng) -> bool {
+        rng.bool(0.5)
+    }
+
+    fn shrink_raw(&self, raw: &bool) -> Vec<bool> {
+        if *raw {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn realize(&self, raw: &bool) -> bool {
+        *raw
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectors
+// ---------------------------------------------------------------------------
+
+/// `Vec` strategy with a length drawn from `[min, max)`.
+#[derive(Clone, Debug)]
+pub struct VecOf<S> {
+    elem: S,
+    min: usize,
+    max: usize,
+}
+
+/// A `Vec` of `len` elements drawn from `elem`, `len ∈ [range.start, range.end)`
+/// (replacement for `proptest::collection::vec`). Shrinks the length toward
+/// `range.start`, then shrinks individual elements.
+pub fn vec_of<S: Strategy>(elem: S, len: Range<usize>) -> VecOf<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecOf {
+        elem,
+        min: len.start,
+        max: len.end,
+    }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Raw = Vec<S::Raw>;
+    type Value = Vec<S::Value>;
+
+    fn generate_raw(&self, rng: &mut Rng) -> Vec<S::Raw> {
+        let n = if self.min + 1 == self.max {
+            self.min
+        } else {
+            rng.range(self.min, self.max)
+        };
+        (0..n).map(|_| self.elem.generate_raw(rng)).collect()
+    }
+
+    fn shrink_raw(&self, raw: &Vec<S::Raw>) -> Vec<Vec<S::Raw>> {
+        let n = raw.len();
+        let mut out = Vec::new();
+        if n > self.min {
+            let half = self.min.max(n / 2);
+            if half < n {
+                out.push(raw[..half].to_vec());
+            }
+            // Drop each element individually: prefix truncation alone cannot
+            // remove a passing head in front of the failing tail.
+            for i in 0..n {
+                let mut next = raw.clone();
+                next.remove(i);
+                out.push(next);
+            }
+        }
+        for i in 0..n {
+            for cand in self.elem.shrink_raw(&raw[i]) {
+                let mut next = raw.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+
+    fn realize(&self, raw: &Vec<S::Raw>) -> Vec<S::Value> {
+        raw.iter().map(|r| self.elem.realize(r)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($S:ident : $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Raw = ($($S::Raw,)+);
+            type Value = ($($S::Value,)+);
+
+            fn generate_raw(&self, rng: &mut Rng) -> Self::Raw {
+                ($(self.$idx.generate_raw(rng),)+)
+            }
+
+            fn shrink_raw(&self, raw: &Self::Raw) -> Vec<Self::Raw> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink_raw(&raw.$idx) {
+                        let mut next = raw.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+
+            fn realize(&self, raw: &Self::Raw) -> Self::Value {
+                ($(self.$idx.realize(&raw.$idx),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+// ---------------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------------
+
+/// Strategy produced by [`StrategyExt::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, V> Strategy for Map<S, F>
+where
+    S: Strategy,
+    V: Clone + Debug,
+    F: Fn(S::Value) -> V,
+{
+    type Raw = S::Raw;
+    type Value = V;
+
+    fn generate_raw(&self, rng: &mut Rng) -> S::Raw {
+        self.inner.generate_raw(rng)
+    }
+
+    fn shrink_raw(&self, raw: &S::Raw) -> Vec<S::Raw> {
+        self.inner.shrink_raw(raw)
+    }
+
+    fn realize(&self, raw: &S::Raw) -> V {
+        (self.f)(self.inner.realize(raw))
+    }
+}
+
+/// Adapter methods on every strategy.
+pub trait StrategyExt: Strategy + Sized {
+    /// Transform generated values (replacement for proptest's `prop_map`).
+    /// Shrinking happens on the untransformed representation, so mapped
+    /// strategies shrink as well as their sources.
+    fn prop_map<V, F>(self, f: F) -> Map<Self, F>
+    where
+        V: Clone + Debug,
+        F: Fn(Self::Value) -> V,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy> StrategyExt for S {}

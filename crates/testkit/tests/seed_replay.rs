@@ -1,0 +1,60 @@
+//! `TESTKIT_SEED` replay must reproduce a failure deterministically. This
+//! lives in its own integration-test binary because it mutates the process
+//! environment: cargo gives each test file its own process, so the variable
+//! cannot leak into concurrently running property tests.
+
+use miss_testkit::{run, Config, PropFail};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn failing_run() -> String {
+    match catch_unwind(AssertUnwindSafe(|| {
+        run(
+            "seed_replay_subject",
+            &Config::default(),
+            &(0u64..1_000_000,),
+            |&(x,)| {
+                if x >= 4242 {
+                    Err(PropFail::Fail("over the line".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+    })) {
+        Ok(()) => panic!("expected failure"),
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string panic payload"),
+    }
+}
+
+#[test]
+fn testkit_seed_replays_the_same_failure() {
+    let first = failing_run();
+    let seed: u64 = first
+        .split("TESTKIT_SEED=")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no seed in message:\n{first}"));
+
+    std::env::set_var("TESTKIT_SEED", seed.to_string());
+    let replay = failing_run();
+    std::env::remove_var("TESTKIT_SEED");
+
+    let shrunk_line = |msg: &str| {
+        msg.lines()
+            .find(|l| l.contains("shrunk input:"))
+            .map(str::trim)
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no shrunk line in:\n{msg}"))
+    };
+    assert_eq!(
+        shrunk_line(&first),
+        shrunk_line(&replay),
+        "replay under TESTKIT_SEED={seed} diverged"
+    );
+    assert!(replay.contains(&format!("TESTKIT_SEED={seed}")));
+    assert_eq!(shrunk_line(&first), "shrunk input:   (4242,)");
+}

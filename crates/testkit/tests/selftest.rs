@@ -1,0 +1,139 @@
+//! The testkit testing itself: generation bounds, assume-rejection, mapped
+//! strategies, greedy shrinking, and failure determinism.
+
+use miss_testkit::{
+    bools, prop_assert, prop_assert_eq, prop_assume, properties, run, vec_of, Config, PropFail,
+    StrategyExt,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+properties! {
+    #![config(cases = 40)]
+
+    fn addition_commutes(a in -1000i64..1000, b in -1000i64..1000) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    fn int_ranges_respect_bounds(x in 3usize..17, y in 5u64..=9) {
+        prop_assert!((3..17).contains(&x));
+        prop_assert!((5..=9).contains(&y));
+    }
+
+    fn float_ranges_respect_bounds(x in -2.5f32..2.5, y in 0.0f64..=1.0) {
+        prop_assert!((-2.5..2.5).contains(&x));
+        prop_assert!((0.0..=1.0).contains(&y));
+    }
+
+    fn vec_of_respects_length_and_elements(v in vec_of(0u32..5, 3..9)) {
+        prop_assert!(v.len() >= 3 && v.len() < 9, "len {}", v.len());
+        prop_assert!(v.iter().all(|&x| x < 5));
+    }
+
+    fn assume_rejects_without_failing(x in 0usize..100) {
+        prop_assume!(x % 2 == 0);
+        prop_assert_eq!(x % 2, 0);
+    }
+
+    fn mapped_strategies_realize(x in (0u32..10, 0u32..10).prop_map(|(a, b)| a * 10 + b)) {
+        prop_assert!(x < 100);
+    }
+
+    fn nested_vec_of_tuples(pairs in vec_of((0.0f32..1.0, bools()), 1..20)) {
+        prop_assert!(pairs.iter().all(|&(p, _)| (0.0..1.0).contains(&p)));
+    }
+}
+
+fn failure_message(f: impl FnOnce()) -> String {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(()) => panic!("expected the property to fail"),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload should be a string"),
+    }
+}
+
+#[test]
+fn failing_property_shrinks_to_minimal_counterexample() {
+    let msg = failure_message(|| {
+        run(
+            "selftest_shrink",
+            &Config::default(),
+            &(0u64..100_000,),
+            |&(x,)| {
+                if x >= 17 {
+                    Err(PropFail::Fail("too big".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+    });
+    assert!(msg.contains("TESTKIT_SEED="), "no repro seed in:\n{msg}");
+    assert!(
+        msg.contains("shrunk input:   (17,)"),
+        "did not shrink to the boundary:\n{msg}"
+    );
+}
+
+#[test]
+fn vec_failures_shrink_toward_short_vectors() {
+    let msg = failure_message(|| {
+        run(
+            "selftest_vec_shrink",
+            &Config::default(),
+            &(vec_of(0u32..1000, 0..50),),
+            |(v,)| {
+                if v.iter().any(|&x| x >= 100) {
+                    Err(PropFail::Fail("element too big".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+    });
+    // minimal counterexample: a single element exactly at the boundary
+    assert!(
+        msg.contains("shrunk input:   ([100],)"),
+        "expected [100], got:\n{msg}"
+    );
+}
+
+#[test]
+fn failures_are_deterministic_for_a_fixed_seed() {
+    let cfg = Config {
+        cases: 32,
+        seed: Some(0xABCD),
+        ..Config::default()
+    };
+    let go = || {
+        failure_message(|| {
+            run("selftest_det", &cfg, &(0i64..1_000_000,), |&(x,)| {
+                if x > 12345 {
+                    Err(PropFail::Fail("boom".into()))
+                } else {
+                    Ok(())
+                }
+            })
+        })
+    };
+    assert_eq!(go(), go(), "same seed must produce the identical failure");
+}
+
+#[test]
+fn panicking_bodies_are_caught_and_shrunk() {
+    let msg = failure_message(|| {
+        run(
+            "selftest_panic",
+            &Config::default(),
+            &(0usize..1000,),
+            |&(x,)| {
+                assert!(x < 50, "x was {x}");
+                Ok(())
+            },
+        )
+    });
+    assert!(msg.contains("panic:"), "panic not captured:\n{msg}");
+    assert!(msg.contains("shrunk input:   (50,)"), "{msg}");
+}

@@ -1,0 +1,99 @@
+//! Determinism regression: two `fit()` runs with the same seed must be
+//! bit-identical — same per-epoch training losses, same final AUC/logloss.
+//! This is the guard rail future parallelism PRs must keep green (any
+//! nondeterministic reduction order or unseeded concurrency breaks it).
+
+use miss_core::{Miss, MissConfig};
+use miss_data::{BatchIter, Dataset, WorldConfig};
+use miss_models::{CtrModel, Din, ModelConfig};
+use miss_nn::{Adam, ParamStore};
+use miss_trainer::{fit, train_epoch, TrainConfig};
+use miss_util::Rng;
+
+fn quick_cfg(seed: u64) -> TrainConfig {
+    TrainConfig {
+        max_epochs: 3,
+        patience: 1,
+        batch_size: 64,
+        seed,
+        ..TrainConfig::default()
+    }
+}
+
+/// Every float of the outcome, as raw bits, so comparison is exact.
+fn fit_fingerprint(with_miss: bool) -> (u64, u64, u64, u64, usize) {
+    let dataset = Dataset::generate(WorldConfig::tiny(), 21);
+    let mut store = ParamStore::new();
+    let mut rng = Rng::new(4);
+    let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+    let miss;
+    let ssl: Option<&dyn miss_core::SslMethod> = if with_miss {
+        miss = Miss::new(&mut store, model.embedding(), MissConfig::default(), &mut rng);
+        Some(&miss)
+    } else {
+        None
+    };
+    let out = fit(&model, ssl, &mut store, &dataset, &quick_cfg(4));
+    (
+        out.test.auc.to_bits(),
+        out.test.logloss.to_bits(),
+        out.valid.auc.to_bits(),
+        out.valid.logloss.to_bits(),
+        out.epochs,
+    )
+}
+
+#[test]
+fn fit_is_bit_identical_across_runs() {
+    assert_eq!(
+        fit_fingerprint(false),
+        fit_fingerprint(false),
+        "plain fit() must be bit-reproducible for a fixed seed"
+    );
+}
+
+#[test]
+fn fit_with_miss_is_bit_identical_across_runs() {
+    assert_eq!(
+        fit_fingerprint(true),
+        fit_fingerprint(true),
+        "fit() with the MISS SSL plug-in must be bit-reproducible"
+    );
+}
+
+#[test]
+fn train_epoch_loss_is_bit_identical_across_runs() {
+    let run = || {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 33);
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(11);
+        let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+        let cfg = quick_cfg(11);
+        let mut adam = Adam::new(cfg.lr, cfg.l2);
+        let mut epoch_rng = Rng::new(cfg.seed);
+        let loss = train_epoch(
+            &model,
+            None,
+            &mut store,
+            &mut adam,
+            &dataset,
+            &cfg,
+            &mut epoch_rng,
+            true,
+        );
+        loss.to_bits()
+    };
+    assert_eq!(run(), run(), "mean epoch loss must be bit-reproducible");
+}
+
+#[test]
+fn batch_iteration_order_is_deterministic() {
+    let dataset = Dataset::generate(WorldConfig::tiny(), 55);
+    let collect = || {
+        let mut shuffle_rng = Rng::new(77);
+        BatchIter::new(&dataset.train, &dataset.schema, 32, Some(&mut shuffle_rng))
+            .map(|b| b.labels.iter().map(|&l| l as u32).sum::<u32>())
+            .collect::<Vec<u32>>()
+    };
+    assert_eq!(collect(), collect(), "shuffled batch order must follow the seed");
+}

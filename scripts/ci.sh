@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Hermetic CI: build, test and bench with the network forced off.
+#
+# The workspace has zero external dependencies (dev- or otherwise) — the
+# in-tree `miss-testkit` crate provides the property-test runner and the
+# microbench harness — so everything here must pass on a machine with no
+# crates.io access. CARGO_NET_OFFLINE makes any dependency regression fail
+# loudly instead of silently fetching.
+#
+# Usage: scripts/ci.sh            # full run
+#        TESTKIT_BENCH_SAMPLES=10 scripts/ci.sh   # faster benches
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> benches: cargo bench"
+cargo bench -q
+
+missing=0
+for f in BENCH_kernels.json BENCH_training_step.json BENCH_data_pipeline.json; do
+    if [[ ! -s "$f" ]]; then
+        echo "ERROR: bench harness did not produce $f" >&2
+        missing=1
+    fi
+done
+[[ "$missing" -eq 0 ]] || exit 1
+
+echo "==> OK: build, tests and benches all green offline"

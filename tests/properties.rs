@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) over the workspace's core invariants:
+//! Property-based tests (miss-testkit) over the workspace's core invariants:
 //! tensor algebra, metric invariances, numerical stability, simulator
 //! protocol guarantees, and the InfoNCE bounds.
 
@@ -6,24 +6,28 @@ use miss::autograd::Tape;
 use miss::data::{Batch, Dataset, Sample, WorldConfig};
 use miss::metrics::{auc, logloss};
 use miss::tensor::Tensor;
-use proptest::prelude::*;
+use miss_testkit::{
+    bools, prop_assert, prop_assert_eq, prop_assume, properties, vec_of, Strategy, StrategyExt,
+};
 
 fn finite_f32() -> impl Strategy<Value = f32> {
     (-50.0f32..50.0).prop_map(|x| (x * 100.0).round() / 100.0)
 }
 
+/// `(rows, cols, data)` with `data.len() == rows * cols`. Internally draws a
+/// max-size buffer and truncates, so the dimensions shrink independently of
+/// the elements.
 fn small_matrix(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(r, c)| {
-        proptest::collection::vec(finite_f32(), r * c).prop_map(move |v| (r, c, v))
-    })
+    let buf = max_dim * max_dim;
+    (1..=max_dim, 1..=max_dim, vec_of(finite_f32(), buf..buf + 1))
+        .prop_map(|(r, c, v)| (r, c, v[..r * c].to_vec()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+properties! {
+    #![config(cases = 64)]
 
     // ---------------- tensor algebra ----------------
 
-    #[test]
     fn matmul_distributes_over_addition((r, k, a) in small_matrix(6), c in 1usize..6) {
         let a1 = Tensor::from_vec(r, k, a.clone());
         let a2 = Tensor::from_vec(r, k, a.iter().map(|x| x * 0.5 - 1.0).collect());
@@ -35,7 +39,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn transpose_respects_matmul((r, k, a) in small_matrix(6), c in 1usize..6) {
         let a = Tensor::from_vec(r, k, a);
         let b = Tensor::from_fn(k, c, |i, j| 0.3 * i as f32 - 0.2 * j as f32);
@@ -46,7 +49,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn gather_then_scatter_restores_row_sums((r, c, v) in small_matrix(6)) {
         let x = Tensor::from_vec(r, c, v);
         let idx: Vec<usize> = (0..r).collect();
@@ -56,7 +58,6 @@ proptest! {
         prop_assert_eq!(acc.as_slice(), x.as_slice());
     }
 
-    #[test]
     fn softmax_rows_are_distributions((r, c, v) in small_matrix(7)) {
         let x = Tensor::from_vec(r, c, v);
         let s = x.row_softmax();
@@ -67,7 +68,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn logsumexp_bounds((r, c, v) in small_matrix(7)) {
         let x = Tensor::from_vec(r, c, v);
         let lse = x.row_logsumexp();
@@ -81,10 +81,9 @@ proptest! {
 
     // ---------------- metrics ----------------
 
-    #[test]
     fn auc_is_invariant_to_positive_affine_transforms(
-        scores in proptest::collection::vec(finite_f32(), 4..40),
-        labels_bits in proptest::collection::vec(any::<bool>(), 4..40),
+        scores in vec_of(finite_f32(), 4..40),
+        labels_bits in vec_of(bools(), 4..40),
         a in 0.1f32..5.0,
         b in finite_f32(),
     ) {
@@ -96,10 +95,9 @@ proptest! {
         prop_assert!((auc(&transformed, &labels) - base).abs() < 1e-9);
     }
 
-    #[test]
     fn auc_complement_symmetry(
-        scores in proptest::collection::vec(finite_f32(), 4..40),
-        labels_bits in proptest::collection::vec(any::<bool>(), 4..40),
+        scores in vec_of(finite_f32(), 4..40),
+        labels_bits in vec_of(bools(), 4..40),
     ) {
         let n = scores.len().min(labels_bits.len());
         let scores = &scores[..n];
@@ -112,10 +110,9 @@ proptest! {
         prop_assert!((a1 + a2 - 1.0).abs() < 1e-9 || (a1 == 0.5 && a2 == 0.5));
     }
 
-    #[test]
     fn logloss_is_nonnegative_and_finite(
-        probs in proptest::collection::vec(0.0f32..=1.0, 1..50),
-        labels_bits in proptest::collection::vec(any::<bool>(), 1..50),
+        probs in vec_of(0.0f32..=1.0, 1..50),
+        labels_bits in vec_of(bools(), 1..50),
     ) {
         let n = probs.len().min(labels_bits.len());
         let labels: Vec<f32> = labels_bits[..n].iter().map(|&x| x as u8 as f32).collect();
@@ -126,7 +123,6 @@ proptest! {
 
     // ---------------- autograd ----------------
 
-    #[test]
     fn info_nce_at_least_handles_any_views((r, c, v) in small_matrix(6)) {
         prop_assume!(r >= 2);
         let mut tape = Tape::new();
@@ -141,10 +137,9 @@ proptest! {
         prop_assert!(val > -2.0 / 0.5 - 1e-3);
     }
 
-    #[test]
     fn bce_with_logits_matches_naive(
-        logits in proptest::collection::vec(-8.0f32..8.0, 1..20),
-        labels_bits in proptest::collection::vec(any::<bool>(), 1..20),
+        logits in vec_of(-8.0f32..8.0, 1..20),
+        labels_bits in vec_of(bools(), 1..20),
     ) {
         let n = logits.len().min(labels_bits.len());
         let logits = &logits[..n];
@@ -165,7 +160,6 @@ proptest! {
 
     // ---------------- data pipeline ----------------
 
-    #[test]
     fn simulator_protocol_invariants(seed in 0u64..200) {
         let dataset = Dataset::generate(WorldConfig::tiny(), seed);
         let users = dataset.schema.vocabs[0].size - 1;
@@ -181,7 +175,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn batches_pad_consistently(seed in 0u64..50, bs in 1usize..32) {
         let dataset = Dataset::generate(WorldConfig::tiny(), seed);
         let take = bs.min(dataset.train.len());
