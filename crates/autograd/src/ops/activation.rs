@@ -49,7 +49,7 @@ impl Tape {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(|v| 1.0 / (1.0 + (-v).exp()));
+        let value = self.value(x).map(miss_util::sigmoid);
         let out_slot = self.len();
         self.push_op(&[x], value, move |g, vals, ctx| {
             let y = &vals[out_slot];

@@ -26,7 +26,7 @@ impl Tape {
                 z.as_slice()
                     .iter()
                     .zip(labels.as_slice())
-                    .map(|(&zv, &yv)| (1.0 / (1.0 + (-zv).exp()) - yv) * scale)
+                    .map(|(&zv, &yv)| (miss_util::sigmoid(zv) - yv) * scale)
                     .collect(),
             );
             ctx.accum(logits, dz);

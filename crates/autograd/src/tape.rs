@@ -69,9 +69,10 @@ type BackwardFn = Box<dyn FnOnce(&Tensor, &[Tensor], &mut BackwardCtx)>;
 /// A recorded forward computation.
 ///
 /// Create one per training step, build the graph with the op methods (see
-/// the `ops` module), call [`Tape::backward`] on the scalar loss, then drop
-/// the tape. Reuse across steps is intentionally unsupported — the backward
-/// closures are `FnOnce`.
+/// the `ops` module), call [`Tape::backward`] on the scalar loss, then either
+/// drop the tape or [`Tape::reset`] it to reuse the arena allocations for the
+/// next step. Replaying a recorded tape is intentionally unsupported — the
+/// backward closures are `FnOnce`.
 pub struct Tape {
     values: Vec<Tensor>,
     backwards: Vec<Option<BackwardFn>>,
@@ -96,6 +97,14 @@ impl Tape {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+
+    /// Clear all recorded values so the tape (and its arena allocations) can
+    /// be reused for the next step. Every outstanding [`Var`] is invalidated.
+    pub fn reset(&mut self) {
+        self.values.clear();
+        self.backwards.clear();
+        self.requires_grad.clear();
     }
 
     /// Record a value that does not require gradients (inputs, labels, masks).

@@ -14,6 +14,12 @@ fn main() {
         b.iter(|| black_box(Dataset::generate(WorldConfig::tiny(), 3)))
     });
 
+    // Full-scale preset (1200 users): the size the parallel per-user
+    // generation path is built for.
+    group.bench_function("generate_cds_world_dataset", |b| {
+        b.iter(|| black_box(Dataset::generate(WorldConfig::amazon_cds(1.0), 3)))
+    });
+
     let dataset = Dataset::generate(WorldConfig::tiny(), 5);
     let refs: Vec<&Sample> = dataset.train.iter().take(128).collect();
     group.bench_function("assemble_batch_128", |b| {

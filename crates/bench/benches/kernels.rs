@@ -3,6 +3,26 @@
 use miss_tensor::Tensor;
 use miss_testkit::bench::{black_box, BenchGroup};
 
+/// The pre-tiling `ikj` triple loop, kept as the fixed baseline the CI
+/// regression gate compares the tiled `matmul_512x256x256` case against.
+fn naive_nn(a: &Tensor, b: &Tensor) -> Vec<f32> {
+    let (m, k) = a.shape();
+    let (_, n) = b.shape();
+    let mut c = vec![0.0f32; m * n];
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    for i in 0..m {
+        for p in 0..k {
+            let x = av[i * k + p];
+            let brow = &bv[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bb) in crow.iter_mut().zip(brow) {
+                *cv += x * bb;
+            }
+        }
+    }
+    c
+}
+
 fn main() {
     let mut group = BenchGroup::new("kernels");
     group.sample_size(20);
@@ -37,6 +57,24 @@ fn main() {
     let idx: Vec<usize> = (0..128 * 28).map(|i| (i * 13) % (128 * 30)).collect();
     group.bench_function("gather_rows_conv_shift", |bch| {
         bch.iter(|| black_box(seq.gather_rows(&idx)))
+    });
+
+    // Serial-unfriendly GEMM (33.5M MACs): naive baseline vs the tiled +
+    // parallel-dispatch path, measured in the same run for a fair ratio.
+    let big_a = Tensor::from_fn(512, 256, |i, j| ((i * 31 + j) % 23) as f32 * 0.05 - 0.5);
+    let big_b = Tensor::from_fn(256, 256, |i, j| ((i + j * 17) % 19) as f32 * 0.06 - 0.5);
+    group.bench_function("matmul_512x256x256_naive", |bch| {
+        bch.iter(|| black_box(naive_nn(&big_a, &big_b)))
+    });
+    group.bench_function("matmul_512x256x256", |bch| {
+        bch.iter(|| black_box(big_a.matmul_nn(&big_b)))
+    });
+
+    // Large batched attention shape (16.7M MACs across 64 blocks).
+    let blk_a = Tensor::from_fn(64 * 64, 64, |i, j| ((i * 13 + j) % 29) as f32 * 0.04 - 0.5);
+    let blk_b = Tensor::from_fn(64 * 64, 64, |i, j| ((i + j * 11) % 31) as f32 * 0.03 - 0.4);
+    group.bench_function("bmm_nt_64x64x64x64", |bch| {
+        bch.iter(|| black_box(blk_a.bmm_nt(&blk_b, 64)))
     });
 
     group.finish();

@@ -6,7 +6,8 @@ use miss_data::{Batch, Dataset, Sample, WorldConfig};
 use miss_models::{CtrModel, Din, ForwardOpts, Ipnn, ModelConfig};
 use miss_nn::{Adam, Graph, ParamStore};
 use miss_tensor::Tensor;
-use miss_testkit::bench::BenchGroup;
+use miss_testkit::bench::{black_box, BenchGroup};
+use miss_trainer::evaluate;
 use miss_util::Rng;
 
 fn setup() -> (Dataset, Batch) {
@@ -81,6 +82,21 @@ fn main() {
             }
             let grads = g.tape.backward(loss);
             adam.step(&mut store, &g, grads);
+        })
+    });
+
+    group.bench_function("evaluate_valid_split", |bch| {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(0);
+        let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+        bch.iter(|| {
+            black_box(evaluate(
+                &model,
+                &store,
+                &dataset.valid,
+                &dataset.schema,
+                64,
+            ))
         })
     });
 

@@ -137,16 +137,26 @@ impl World {
             .map(|pool| Zipf::new(pool.len(), config.zipf_exponent))
             .collect();
 
-        let mut users = Vec::with_capacity(config.num_users);
-        for _ in 0..config.num_users {
-            let k = rng.range(config.interests_per_user.0, config.interests_per_user.1 + 1);
-            let k = k.min(config.num_interests);
-            let chosen = rng.sample_indices(config.num_interests, k);
-            let weights = rng.dirichlet(k, config.dirichlet_alpha);
+        // Users draw from independent counter-derived RNG streams: user `u`
+        // seeds its own generator from `user_base ^ u·φ` (a splitmix-style
+        // stream id), so each user is a pure function of `(config, seed, u)`.
+        // Chunks of the user index range then generate in parallel and
+        // concatenate in index order — byte-identical output for any
+        // `MISS_THREADS` value, and identical to a serial loop over `u`.
+        let user_base = rng.next_u64();
+        let cfg = &config;
+        let pools = &interest_items;
+        let zipfs_ref = &zipfs;
+        let gen_user = move |u: usize| -> Option<User> {
+            let mut rng = Rng::new(user_base ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let k = rng.range(cfg.interests_per_user.0, cfg.interests_per_user.1 + 1);
+            let k = k.min(cfg.num_interests);
+            let chosen = rng.sample_indices(cfg.num_interests, k);
+            let weights = rng.dirichlet(k, cfg.dirichlet_alpha);
             let interests: Vec<(usize, f64)> = chosen.into_iter().zip(weights).collect();
             let mix = Categorical::new(&interests.iter().map(|&(_, w)| w).collect::<Vec<_>>());
 
-            let len = rng.range(config.seq_len_range.0, config.seq_len_range.1 + 1);
+            let len = rng.range(cfg.seq_len_range.0, cfg.seq_len_range.1 + 1);
             let mut history = Vec::with_capacity(len);
             // Sticky Markov walk over the user's interests, with the mixture
             // drifting from the early-interest half toward the late-interest
@@ -164,22 +174,21 @@ impl World {
                 } else {
                     1.0
                 };
-                if !rng.bool(config.stickiness) {
-                    let weights =
-                        drifted_weights(&interests, config.interest_drift, progress);
+                if !rng.bool(cfg.stickiness) {
+                    let weights = drifted_weights(&interests, cfg.interest_drift, progress);
                     cur = interests[sample_weighted(&weights, &mut rng)].0;
                     chain_rank = None; // a new run re-enters the chain
                 }
-                let item = if rng.bool(config.history_noise) {
+                let item = if rng.bool(cfg.history_noise) {
                     // Spurious click anywhere in the catalogue.
                     chain_rank = None;
-                    rng.below(config.num_items) as u32 + 1
+                    rng.below(cfg.num_items) as u32 + 1
                 } else {
-                    let pool = &interest_items[cur];
+                    let pool = &pools[cur];
                     let rank = match chain_rank {
                         // Continue the progression with high probability.
-                        Some(r) if rng.bool(config.chain_strength) => (r + 1) % pool.len(),
-                        _ => zipfs[cur].sample(&mut rng),
+                        Some(r) if rng.bool(cfg.chain_strength) => (r + 1) % pool.len(),
+                        _ => zipfs_ref[cur].sample(&mut rng),
                     };
                     chain_rank = Some(rank);
                     pool[rank]
@@ -190,20 +199,30 @@ impl World {
             // Paper protocol: drop infrequent users. (The leave-last-three
             // split additionally needs 4+ behaviours; min_interactions in
             // all presets is ≥ 5.)
-            if history.len() < config.min_interactions {
-                continue;
+            if history.len() < cfg.min_interactions {
+                return None;
             }
-            let action_type = if config.num_action_types > 0 {
-                rng.below(config.num_action_types) as u32 + 1
+            let action_type = if cfg.num_action_types > 0 {
+                rng.below(cfg.num_action_types) as u32 + 1
             } else {
                 0
             };
-            users.push(User {
+            Some(User {
                 interests,
                 history,
                 action_type,
-            });
-        }
+            })
+        };
+        let chunk = miss_parallel::fixed_chunk_len(config.num_users, 1);
+        let n_chunks = config.num_users.div_ceil(chunk);
+        let users: Vec<User> = miss_parallel::par_map(n_chunks, |ci| {
+            let lo = ci * chunk;
+            let hi = (lo + chunk).min(config.num_users);
+            (lo..hi).filter_map(gen_user).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
         World {
             config,

@@ -1,0 +1,57 @@
+//! Byte-identity regression for parallel world generation: the per-user
+//! counter-derived RNG streams make each user a pure function of
+//! `(config, seed, user_index)`, so the generated world must not change
+//! with `MISS_THREADS` — not one item, interest weight, or history entry.
+
+use miss_data::{Dataset, World, WorldConfig};
+use miss_parallel::with_threads;
+
+fn world_fingerprint(w: &World) -> (usize, Vec<u32>, Vec<u64>) {
+    let histories: Vec<u32> = w
+        .users
+        .iter()
+        .flat_map(|u| u.history.iter().copied())
+        .collect();
+    let weights: Vec<u64> = w
+        .users
+        .iter()
+        .flat_map(|u| u.interests.iter().map(|&(i, wt)| (i as u64) ^ wt.to_bits()))
+        .collect();
+    (w.users.len(), histories, weights)
+}
+
+#[test]
+fn world_is_byte_identical_across_thread_counts() {
+    let serial = with_threads(1, || World::generate(WorldConfig::tiny(), 17));
+    let base = world_fingerprint(&serial);
+    for threads in [2, 4] {
+        let w = with_threads(threads, || World::generate(WorldConfig::tiny(), 17));
+        assert_eq!(base, world_fingerprint(&w), "world differs at {threads} threads");
+    }
+}
+
+#[test]
+fn dataset_splits_byte_identical_across_thread_counts() {
+    let fingerprint = |threads: usize| {
+        with_threads(threads, || {
+            let d = Dataset::generate(WorldConfig::tiny(), 23);
+            let digest = |samples: &[miss_data::Sample]| {
+                samples
+                    .iter()
+                    .flat_map(|s| {
+                        s.cat
+                            .iter()
+                            .copied()
+                            .chain(s.hist.iter().flatten().copied())
+                            .chain([s.label as u32])
+                    })
+                    .collect::<Vec<u32>>()
+            };
+            (digest(&d.train), digest(&d.valid), digest(&d.test))
+        })
+    };
+    let base = fingerprint(1);
+    for threads in [2, 4] {
+        assert_eq!(base, fingerprint(threads), "dataset differs at {threads} threads");
+    }
+}

@@ -9,7 +9,7 @@ use miss_data::{Batch, Schema};
 use miss_nn::{dropout, AuGruCell, Graph, GruCell, Mlp, ParamStore};
 use miss_tensor::Tensor;
 use miss_util::Rng;
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// DIEN baseline.
 pub struct DienState {
@@ -27,7 +27,10 @@ pub struct Dien {
     augru: AuGruCell,
     deep: Mlp,
     dropout: f32,
-    state: RefCell<Option<DienState>>,
+    /// Cached by `forward` for `extra_loss` on the same graph. A `Mutex`
+    /// (not `RefCell`) so the model stays `Sync` for parallel evaluation;
+    /// the training path that actually reads it is serial.
+    state: Mutex<Option<DienState>>,
 }
 
 impl Dien {
@@ -42,7 +45,7 @@ impl Dien {
             augru: AuGruCell::new(store, "dien.augru", k, k, rng),
             deep: Mlp::relu_tower(store, "dien.deep", in_dim, &cfg.mlp_sizes, rng),
             dropout: cfg.dropout,
-            state: RefCell::new(None),
+            state: Mutex::new(None),
         }
     }
 
@@ -121,7 +124,7 @@ impl CtrModel for Dien {
             hv = g.tape.add(keep_new, keep_old);
         }
 
-        *self.state.borrow_mut() = Some(DienState {
+        *self.state.lock().unwrap() = Some(DienState {
             hidden,
             seq_emb: seq,
         });
@@ -146,7 +149,7 @@ impl CtrModel for Dien {
         batch: &Batch,
         opts: &mut ForwardOpts,
     ) -> Option<Var> {
-        let state = self.state.borrow_mut().take()?;
+        let state = self.state.lock().unwrap().take()?;
         let b = batch.size;
         let l = batch.seq_len;
         let item_vocab = self.emb.schema().seq_fields[0].vocab;

@@ -76,7 +76,10 @@ pub struct ForwardOpts<'a> {
 }
 
 /// A CTR prediction model: maps a mini-batch to click logits (`B×1`).
-pub trait CtrModel {
+///
+/// `Send + Sync` is part of the contract: `forward` takes `&self`, and the
+/// trainer's parallel evaluation shares one model across worker threads.
+pub trait CtrModel: Send + Sync {
     /// Display name used in experiment tables.
     fn name(&self) -> &'static str;
 

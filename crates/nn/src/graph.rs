@@ -28,6 +28,17 @@ impl Graph {
         }
     }
 
+    /// Clear the step's recordings while keeping the tape's arena capacity,
+    /// so one `Graph` can serve a whole batch loop without reallocating.
+    /// Outstanding [`Var`]s are invalidated; parameter leaves re-bind to
+    /// `store`'s current values on next use.
+    pub fn reset(&mut self, store: &ParamStore) {
+        self.tape.reset();
+        self.dense_bindings.clear();
+        self.dense_cache.clear();
+        self.dense_cache.resize(store.dense.len(), None);
+    }
+
     /// Bind a dense parameter as a differentiable leaf (cached per id).
     pub fn param(&mut self, store: &ParamStore, id: DenseId) -> Var {
         if let Some(Some(v)) = self.dense_cache.get(id.0) {
@@ -107,6 +118,29 @@ mod tests {
         let grads = g.tape.backward(loss);
         // d/dw sum(w²) = 2w
         assert_eq!(grads.expect(w).as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn reset_reuses_graph_across_steps() {
+        let mut store = ParamStore::new();
+        let id = store.dense("w", 1, 2, |r, c| Tensor::from_vec(r, c, vec![2.0, 3.0]));
+        let mut g = Graph::new(&store);
+        let w = g.param(&store, id);
+        let y = g.tape.mul(w, w);
+        let loss = g.tape.sum_all(y);
+        let grads = g.tape.backward(loss);
+        assert_eq!(grads.expect(w).as_slice(), &[4.0, 6.0]);
+
+        // Second step on the same Graph must behave exactly like a fresh one.
+        g.reset(&store);
+        assert!(g.tape.is_empty());
+        assert!(g.dense_bindings().is_empty());
+        let w = g.param(&store, id);
+        let y = g.tape.mul(w, w);
+        let loss = g.tape.sum_all(y);
+        let grads = g.tape.backward(loss);
+        assert_eq!(grads.expect(w).as_slice(), &[4.0, 6.0]);
+        assert_eq!(g.dense_bindings().len(), 1);
     }
 
     #[test]

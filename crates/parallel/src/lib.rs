@@ -1,0 +1,289 @@
+//! Deterministic, zero-dependency data parallelism for the MISS workspace.
+//!
+//! Every hot loop in the workspace (dense kernels, batch evaluation,
+//! world generation) dispatches through this crate. The design contract is
+//! **bit-identical results for any thread count**:
+//!
+//! * Work is split into *fixed chunks* whose boundaries are derived only
+//!   from the input length ([`fixed_chunk_len`]) — never from the thread
+//!   count, scheduling order, or timing.
+//! * Each chunk's result depends only on its chunk index (workers share no
+//!   mutable state beyond the claim counter), and chunk outputs are written
+//!   into pre-sized, disjoint slots by index.
+//! * Reductions ([`par_map_reduce`]) fold the per-chunk results serially in
+//!   chunk order after all workers finish, so floating-point rounding is the
+//!   same whether one thread or sixteen computed the chunks.
+//!
+//! The pool is `std::thread::scope`-based: workers are spawned per call and
+//! joined before returning, so closures may borrow from the caller's stack.
+//! Calls below the caller's own thresholds (or with one chunk, or with
+//! `MISS_THREADS=1`) run inline on the calling thread with zero spawns.
+//!
+//! Thread count resolution order:
+//! 1. inside a pool worker: always 1 (nested parallelism runs serial),
+//! 2. a [`with_threads`] override on the calling thread (used by tests),
+//! 3. the `MISS_THREADS` environment variable,
+//! 4. `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fixed number of chunks [`fixed_chunk_len`] aims for. Chosen so any
+/// realistic thread count (1–64) load-balances well while chunk boundaries
+/// stay a pure function of the input length.
+pub const FIXED_CHUNKS: usize = 32;
+
+thread_local! {
+    /// Scoped thread-count override installed by [`with_threads`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// True inside a pool worker; nested dispatch then runs serial, both to
+    /// bound the total thread count and to keep worker-local work
+    /// independent of the outer schedule.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The thread count parallel dispatch may use from the current thread.
+///
+/// Always ≥ 1. Results never depend on this value — only wall-clock does.
+pub fn max_threads() -> usize {
+    if IN_POOL.with(|c| c.get()) {
+        return 1;
+    }
+    if let Some(n) = OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("MISS_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `f` with the thread count pinned to `n` on this thread (callees on
+/// this thread included; worker threads spawned inside still run their own
+/// chunks serially). Intended for tests asserting parallel ≡ serial.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            OVERRIDE.with(|c| c.set(prev));
+        }
+    }
+    let _guard = Restore(OVERRIDE.with(|c| c.replace(Some(n))));
+    f()
+}
+
+/// Chunk length for an input of `len` items: `ceil(len / FIXED_CHUNKS)`,
+/// raised to at least `min_chunk`. Depends on `len` (and the caller's
+/// `min_chunk`) only — never on the thread count.
+pub fn fixed_chunk_len(len: usize, min_chunk: usize) -> usize {
+    len.div_ceil(FIXED_CHUNKS).max(min_chunk).max(1)
+}
+
+/// Raw-pointer wrapper so disjoint writes can cross the scope boundary.
+/// Safety argument lives at each use site.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Accessor instead of field access so closures capture the wrapper
+    /// (which is `Sync`) rather than the bare `*mut T` (which is not).
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Execute `task(0..n_tasks)` exactly once each, work-stealing task indices
+/// over at most [`max_threads`] scoped workers. Which worker runs a task is
+/// nondeterministic; what the task computes must depend on its index alone.
+fn run_tasks(n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    let threads = max_threads().min(n_tasks);
+    if threads <= 1 {
+        for i in 0..n_tasks {
+            task(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let drain = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n_tasks {
+            break;
+        }
+        task(i);
+    };
+    std::thread::scope(|s| {
+        for _ in 0..threads - 1 {
+            s.spawn(|| {
+                IN_POOL.with(|c| c.set(true));
+                drain();
+            });
+        }
+        // The calling thread is the final worker; mark it as in-pool so the
+        // tasks it runs dispatch nested work exactly like the spawned ones.
+        let was = IN_POOL.with(|c| c.replace(true));
+        drain();
+        IN_POOL.with(|c| c.set(was));
+    });
+}
+
+/// Compute `f(i)` for `i in 0..n` in parallel; results returned in index
+/// order. `f` must be a pure function of its index (plus captured shared
+/// state), which makes the output independent of the schedule.
+pub fn par_map<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let ptr = SendPtr(slots.as_mut_ptr());
+    run_tasks(n, &|i| {
+        let r = f(i);
+        // SAFETY: every index in 0..n is claimed by exactly one worker
+        // (fetch_add), slots outlives the scope, and slot i is written only
+        // here — writes are disjoint and joined before slots is read.
+        unsafe { ptr.get().add(i).write(Some(r)) };
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("pool worker completed every claimed task"))
+        .collect()
+}
+
+/// [`par_map`] followed by a serial, index-ordered fold. The reduction
+/// order is fixed, so floating-point accumulation is bit-identical for any
+/// thread count.
+pub fn par_map_reduce<R: Send, A>(
+    n: usize,
+    map: impl Fn(usize) -> R + Sync,
+    init: A,
+    mut reduce: impl FnMut(A, R) -> A,
+) -> A {
+    par_map(n, map).into_iter().fold(init, |a, r| reduce(a, r))
+}
+
+/// Split `data` into consecutive chunks of `chunk_len` (last one shorter)
+/// and run `f(chunk_index, start_offset, chunk)` on each in parallel.
+///
+/// Chunks are disjoint `&mut` windows of one allocation, so workers write
+/// results straight into their final position — no post-hoc stitching, and
+/// the output layout is identical to a serial loop's.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let n_chunks = len.div_ceil(chunk_len);
+    let ptr = SendPtr(data.as_mut_ptr());
+    run_tasks(n_chunks, &|ci| {
+        let start = ci * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // SAFETY: chunk ci covers [start, end) ⊂ [0, len); distinct chunk
+        // indices give disjoint ranges, each claimed by exactly one worker,
+        // and `data` is mutably borrowed for the whole scope.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(start), end - start) };
+        f(ci, start, chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = with_threads(threads, || par_map(100, |i| i * i));
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_is_ordered_fold() {
+        // String concatenation is order-sensitive: any scheduling leak shows.
+        for threads in [1, 3, 8] {
+            let s = with_threads(threads, || {
+                par_map_reduce(26, |i| (b'a' + i as u8) as char, String::new(), |mut a, c| {
+                    a.push(c);
+                    a
+                })
+            });
+            assert_eq!(s, "abcdefghijklmnopqrstuvwxyz");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_slot_once() {
+        for threads in [1, 2, 5] {
+            let mut data = vec![0usize; 97];
+            with_threads(threads, || {
+                par_chunks_mut(&mut data, 7, |ci, start, chunk| {
+                    for (off, v) in chunk.iter_mut().enumerate() {
+                        *v = ci * 1000 + start + off;
+                    }
+                });
+            });
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(v, (i / 7) * 1000 + i);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_chunk_len_ignores_thread_count() {
+        let a = with_threads(1, || fixed_chunk_len(1000, 1));
+        let b = with_threads(16, || fixed_chunk_len(1000, 1));
+        assert_eq!(a, b);
+        assert_eq!(fixed_chunk_len(0, 1), 1);
+        assert_eq!(fixed_chunk_len(31, 1), 1);
+        assert_eq!(fixed_chunk_len(33, 1), 2);
+        assert_eq!(fixed_chunk_len(10, 64), 64);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_serial_and_correct() {
+        let out = with_threads(4, || {
+            par_map(8, |i| {
+                // Nested call inside a worker: must still be correct (and
+                // silently serial — max_threads() is 1 in a worker).
+                let inner = par_map(5, move |j| i * 10 + j);
+                assert_eq!(max_threads(), 1);
+                inner.into_iter().sum::<usize>()
+            })
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..5).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        let before = max_threads();
+        with_threads(3, || assert_eq!(max_threads(), 3));
+        assert_eq!(max_threads(), before);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        with_threads(2, || {
+            par_map(4, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let out: Vec<usize> = with_threads(4, || par_map(0, |i| i));
+        assert!(out.is_empty());
+        let mut empty: [u8; 0] = [];
+        par_chunks_mut(&mut empty, 3, |_, _, _| panic!("no chunks expected"));
+    }
+}

@@ -1,0 +1,450 @@
+//! Register-blocked GEMM micro-kernels.
+//!
+//! Three variants cover every matmul/bmm path in the workspace:
+//! [`gemm_nn`] (`A @ B`), [`gemm_nt`] (`A @ Bᵀ`) and [`gemm_tn`]
+//! (`Aᵀ @ B`). Each keeps an `MR×NRW` accumulator tile in registers,
+//! streams the shared operand once per tile instead of once per output
+//! element, and unrolls the `k` loop by two. The tile bodies are generic
+//! over the tile shape and compiled twice: once for the baseline x86-64
+//! target (SSE2) and once under `#[target_feature(enable = "avx2")]` with
+//! wider column tiles, selected at runtime with `is_x86_feature_detected!`.
+//!
+//! ## Determinism contract
+//!
+//! Every output element is accumulated as a chain of *individually rounded*
+//! `acc + a·b` steps with `p` (the contraction index) strictly ascending —
+//! in the register tiles, in the row/column remainder loops, and in the
+//! textbook reference the property tests compare against. `x + a·b + c·d`
+//! in Rust is left-associated and never reassociated or fused (no FMA
+//! contraction), so the tiled path, the remainder paths, a naive triple
+//! loop, and both ISA instantiations produce **bit-identical results** —
+//! tile shape and vector width only change which *independent* elements are
+//! computed together, never the order within one element's chain. Row-range
+//! parallel dispatch (see `ops.rs`) therefore cannot change a single bit no
+//! matter where the chunk boundaries fall.
+
+/// Row-chunk granularity for parallel dispatch: a multiple of every row-tile
+/// height used below (4 baseline, 6 on the AVX2 path), so chunk interiors
+/// are full tiles regardless of which ISA body runs.
+pub(crate) const TILE_M: usize = 12;
+
+#[inline(always)]
+fn load<const W: usize>(x: &[f32], off: usize) -> [f32; W] {
+    x[off..off + W].try_into().unwrap()
+}
+
+#[inline(always)]
+fn store_add<const W: usize>(x: &mut [f32], off: usize, v: &[f32; W]) {
+    let dst = &mut x[off..off + W];
+    for t in 0..W {
+        dst[t] += v[t];
+    }
+}
+
+/// `C (m×n) += A (m×k) @ B (k×n)`, row-major, `C` pre-zeroed by callers
+/// that want a plain product. Axpy form: `MR` rows × `NRW` columns per tile.
+#[inline(always)]
+fn gemm_nn_body<const MR: usize, const NRW: usize>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut j = 0;
+    while j + NRW <= n {
+        let mut i = 0;
+        while i + MR <= m {
+            let mut acc = [[0.0f32; NRW]; MR];
+            let mut p = 0;
+            while p + 2 <= k {
+                let b0 = load::<NRW>(b, p * n + j);
+                let b1 = load::<NRW>(b, (p + 1) * n + j);
+                for r in 0..MR {
+                    let a0 = a[(i + r) * k + p];
+                    let a1 = a[(i + r) * k + p + 1];
+                    let row = &mut acc[r];
+                    for t in 0..NRW {
+                        row[t] = row[t] + a0 * b0[t] + a1 * b1[t];
+                    }
+                }
+                p += 2;
+            }
+            if p < k {
+                let b0 = load::<NRW>(b, p * n + j);
+                for r in 0..MR {
+                    let a0 = a[(i + r) * k + p];
+                    let row = &mut acc[r];
+                    for t in 0..NRW {
+                        row[t] += a0 * b0[t];
+                    }
+                }
+            }
+            for r in 0..MR {
+                store_add::<NRW>(c, (i + r) * n + j, &acc[r]);
+            }
+            i += MR;
+        }
+        while i < m {
+            let mut acc = [0.0f32; NRW];
+            for p in 0..k {
+                let a0 = a[i * k + p];
+                let b0 = load::<NRW>(b, p * n + j);
+                for t in 0..NRW {
+                    acc[t] += a0 * b0[t];
+                }
+            }
+            store_add::<NRW>(c, i * n + j, &acc);
+            i += 1;
+        }
+        j += NRW;
+    }
+    if j < n {
+        // Column tail: per-row axpy over the remaining columns, p ascending.
+        for i in 0..m {
+            for p in 0..k {
+                let a0 = a[i * k + p];
+                let brow = &b[p * n + j..(p + 1) * n];
+                let crow = &mut c[i * n + j..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += a0 * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `C (m×n) += A (m×k) @ Bᵀ` where `B` is stored `n×k` (row = one output
+/// column). Dot-product form: both operands stream contiguously.
+#[inline(always)]
+fn gemm_nt_body<const MR: usize, const NTW: usize>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut i = 0;
+    while i + MR <= m {
+        let mut j = 0;
+        while j + NTW <= n {
+            let mut acc = [[0.0f32; NTW]; MR];
+            let mut p = 0;
+            while p + 2 <= k {
+                let mut av = [[0.0f32; 2]; MR];
+                let mut bv = [[0.0f32; 2]; NTW];
+                for r in 0..MR {
+                    av[r] = load::<2>(a, (i + r) * k + p);
+                }
+                for t in 0..NTW {
+                    bv[t] = load::<2>(b, (j + t) * k + p);
+                }
+                for r in 0..MR {
+                    for t in 0..NTW {
+                        acc[r][t] = acc[r][t] + av[r][0] * bv[t][0] + av[r][1] * bv[t][1];
+                    }
+                }
+                p += 2;
+            }
+            if p < k {
+                for r in 0..MR {
+                    let a0 = a[(i + r) * k + p];
+                    for t in 0..NTW {
+                        acc[r][t] += a0 * b[(j + t) * k + p];
+                    }
+                }
+            }
+            for r in 0..MR {
+                store_add::<NTW>(c, (i + r) * n + j, &acc[r]);
+            }
+            j += NTW;
+        }
+        while j < n {
+            let brow = &b[j * k..(j + 1) * k];
+            for r in 0..MR {
+                let arow = &a[(i + r) * k..(i + r + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                c[(i + r) * n + j] += acc;
+            }
+            j += 1;
+        }
+        i += MR;
+    }
+    while i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            c[i * n + j] += acc;
+        }
+        i += 1;
+    }
+}
+
+/// `C rows [i0, i1) += (Aᵀ @ B)` rows `[i0, i1)`, where `A` is stored
+/// `k×m` and `B` is `k×n`; `c` holds only the `(i1-i0)×n` output window.
+/// The row-range signature lets parallel chunks share the full `A`/`B`
+/// (columns of `A` cannot be sliced contiguously).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_tn_body<const MR: usize, const NRW: usize>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let mut j = 0;
+    while j + NRW <= n {
+        let mut i = i0;
+        while i + MR <= i1 {
+            let mut acc = [[0.0f32; NRW]; MR];
+            let mut p = 0;
+            while p + 2 <= k {
+                let b0 = load::<NRW>(b, p * n + j);
+                let b1 = load::<NRW>(b, (p + 1) * n + j);
+                for r in 0..MR {
+                    let a0 = a[p * m + i + r];
+                    let a1 = a[(p + 1) * m + i + r];
+                    let row = &mut acc[r];
+                    for t in 0..NRW {
+                        row[t] = row[t] + a0 * b0[t] + a1 * b1[t];
+                    }
+                }
+                p += 2;
+            }
+            if p < k {
+                let b0 = load::<NRW>(b, p * n + j);
+                for r in 0..MR {
+                    let a0 = a[p * m + i + r];
+                    let row = &mut acc[r];
+                    for t in 0..NRW {
+                        row[t] += a0 * b0[t];
+                    }
+                }
+            }
+            for r in 0..MR {
+                store_add::<NRW>(c, (i - i0 + r) * n + j, &acc[r]);
+            }
+            i += MR;
+        }
+        while i < i1 {
+            let mut acc = [0.0f32; NRW];
+            for p in 0..k {
+                let a0 = a[p * m + i];
+                let b0 = load::<NRW>(b, p * n + j);
+                for t in 0..NRW {
+                    acc[t] += a0 * b0[t];
+                }
+            }
+            store_add::<NRW>(c, (i - i0) * n + j, &acc);
+            i += 1;
+        }
+        j += NRW;
+    }
+    if j < n {
+        for i in i0..i1 {
+            for p in 0..k {
+                let a0 = a[p * m + i];
+                let brow = &b[p * n + j..(p + 1) * n];
+                let crow = &mut c[(i - i0) * n + j..(i - i0 + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += a0 * bv;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ISA dispatch: the AVX2 instantiations widen the column tile (16 f32 = two
+// YMM registers per accumulator row) and let LLVM vectorize the same body
+// with 8-wide instructions. Output bits are identical to the baseline path
+// by the determinism contract above; only throughput changes. AVX2 alone is
+// enabled (never FMA), so no mul/add contraction can occur.
+// ---------------------------------------------------------------------------
+
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_nn_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_nn_body::<6, 16>(a, b, c, m, k, n)
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_nt_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_nt_body::<4, 8>(a, b, c, m, k, n)
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_tn_avx2(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    gemm_tn_body::<4, 16>(a, b, c, i0, i1, k, m, n)
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+#[inline]
+fn has_avx2() -> bool {
+    // Cached by std behind an atomic; effectively free after the first call.
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+pub(crate) fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+    if has_avx2() {
+        // SAFETY: the avx2 feature was just detected at runtime.
+        return unsafe { gemm_nn_avx2(a, b, c, m, k, n) };
+    }
+    gemm_nn_body::<4, 8>(a, b, c, m, k, n)
+}
+
+pub(crate) fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+    if has_avx2() {
+        // SAFETY: the avx2 feature was just detected at runtime.
+        return unsafe { gemm_nt_avx2(a, b, c, m, k, n) };
+    }
+    gemm_nt_body::<4, 4>(a, b, c, m, k, n)
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_tn(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), (i1 - i0) * n);
+    #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+    if has_avx2() {
+        // SAFETY: the avx2 feature was just detected at runtime.
+        return unsafe { gemm_tn_avx2(a, b, c, i0, i1, k, m, n) };
+    }
+    gemm_tn_body::<4, 8>(a, b, c, i0, i1, k, m, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Textbook p-ascending reference; by the determinism contract the tiled
+    /// kernels must match it *bitwise*, not just within tolerance.
+    fn reference_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn fill(len: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..len).map(f).collect()
+    }
+
+    #[test]
+    fn tiled_kernels_match_reference_bitwise_at_awkward_sizes() {
+        // Sizes straddle every tile boundary: below, at, and past 4/8/16.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 17),
+            (13, 6, 10),
+            (8, 2, 9),
+            (6, 11, 19),
+        ] {
+            let a = fill(m * k, |i| ((i * 37 % 19) as f32 - 9.0) * 0.37);
+            let b = fill(k * n, |i| ((i * 23 % 17) as f32 - 8.0) * 0.29);
+            let want = reference_nn(&a, &b, m, k, n);
+
+            let mut c = vec![0.0f32; m * n];
+            gemm_nn(&a, &b, &mut c, m, k, n);
+            assert_eq!(c, want, "gemm_nn {m}x{k}x{n}");
+
+            // nt: B stored transposed (n×k).
+            let bt = fill(n * k, |i| b[(i % k) * n + i / k]);
+            let mut c = vec![0.0f32; m * n];
+            gemm_nt(&a, &bt, &mut c, m, k, n);
+            assert_eq!(c, want, "gemm_nt {m}x{k}x{n}");
+
+            // tn: A stored transposed (k×m), full row range.
+            let at = fill(k * m, |i| a[(i % m) * k + i / m]);
+            let mut c = vec![0.0f32; m * n];
+            gemm_tn(&at, &b, &mut c, 0, m, k, m, n);
+            assert_eq!(c, want, "gemm_tn {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn isa_paths_agree_bitwise() {
+        // Both tile instantiations must produce the same bits; on machines
+        // with AVX2 this compares the wide path against the baseline body.
+        let (m, k, n) = (23, 17, 37);
+        let a = fill(m * k, |i| ((i * 41 % 29) as f32 - 14.0) * 0.21);
+        let b = fill(k * n, |i| ((i * 13 % 23) as f32 - 11.0) * 0.17);
+        let mut wide = vec![0.0f32; m * n];
+        gemm_nn(&a, &b, &mut wide, m, k, n);
+        let mut narrow = vec![0.0f32; m * n];
+        gemm_nn_body::<4, 8>(&a, &b, &mut narrow, m, k, n);
+        assert_eq!(wide, narrow, "dispatched vs baseline gemm_nn");
+        let mut narrower = vec![0.0f32; m * n];
+        gemm_nn_body::<2, 4>(&a, &b, &mut narrower, m, k, n);
+        assert_eq!(wide, narrower, "tile shape must not change bits");
+    }
+
+    #[test]
+    fn tn_row_windows_agree_with_full_range() {
+        let (m, k, n) = (11, 5, 9);
+        let at = fill(k * m, |i| (i as f32 * 0.11).sin());
+        let b = fill(k * n, |i| (i as f32 * 0.07).cos());
+        let mut full = vec![0.0f32; m * n];
+        gemm_tn(&at, &b, &mut full, 0, m, k, m, n);
+        // Any split into row windows must reproduce the same bits.
+        for split in [1, 4, 6, 10] {
+            let mut c = vec![0.0f32; m * n];
+            let (lo, hi) = c.split_at_mut(split * n);
+            gemm_tn(&at, &b, lo, 0, split, k, m, n);
+            gemm_tn(&at, &b, hi, split, m, k, m, n);
+            assert_eq!(c, full, "split at {split}");
+        }
+    }
+}

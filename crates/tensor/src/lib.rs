@@ -8,7 +8,15 @@
 //! explicitly. This keeps the kernel surface small and the memory layout
 //! cache-friendly (see the Rust Performance Book: flat buffers, `ikj` matmul
 //! loop order, no per-element allocation).
+//!
+//! The matmul/bmm family runs on register-blocked tiled kernels (`kernels`)
+//! and, above a fixed size threshold, fans out row chunks over the
+//! `miss-parallel` pool. Accumulation order per output element is fixed
+//! (contraction index ascending, individually rounded), so results are
+//! bit-identical for any `MISS_THREADS` value — see `kernels.rs` for the
+//! full determinism argument.
 
+mod kernels;
 mod ops;
 mod tensor;
 

@@ -1,35 +1,65 @@
 //! Dense kernels. All shape checks panic: a mismatch is a bug in the caller,
 //! never a recoverable runtime condition.
+//!
+//! The matmul/bmm family calls the register-blocked tiles in `kernels.rs`
+//! and, once the multiply-accumulate count crosses [`PAR_MIN_MACS`], fans
+//! output-row (or block) chunks out over `miss-parallel`. Chunk boundaries
+//! are a pure function of the shape, and each output element's accumulation
+//! order is fixed inside the kernels, so results are bit-identical for any
+//! `MISS_THREADS` value.
 
+use crate::kernels;
 use crate::Tensor;
+
+/// Minimum multiply-accumulate count (`m·k·n`) before a kernel call fans
+/// out to the thread pool; below this, thread spawns cost more than they
+/// save. Purely a performance knob — results are identical either way.
+const PAR_MIN_MACS: usize = 1 << 18;
+
+/// Row-chunk length for an `m`-row output: the whole matrix when the call
+/// is too small to parallelise, otherwise a fixed fraction of `m` rounded
+/// up to whole tiles. Depends only on the shape, never on thread count.
+fn row_chunk_len(m: usize, macs: usize) -> usize {
+    if macs < PAR_MIN_MACS {
+        m.max(1)
+    } else {
+        let raw = miss_parallel::fixed_chunk_len(m, kernels::TILE_M);
+        raw.div_ceil(kernels::TILE_M) * kernels::TILE_M
+    }
+}
+
+/// Block-chunk length for a `blocks`-deep bmm; same contract as
+/// [`row_chunk_len`] with a granularity of one block.
+fn block_chunk_len(blocks: usize, macs: usize) -> usize {
+    if macs < PAR_MIN_MACS {
+        blocks.max(1)
+    } else {
+        miss_parallel::fixed_chunk_len(blocks, 1)
+    }
+}
 
 impl Tensor {
     // ------------------------------------------------------------------
     // Matrix multiplication
     // ------------------------------------------------------------------
 
-    /// `self (m×k) @ other (k×n) -> m×n`, `ikj` loop order over flat buffers.
+    /// `self (m×k) @ other (k×n) -> m×n`, tiled with parallel row chunks.
     pub fn matmul_nn(&self, other: &Tensor) -> Tensor {
         let (m, k) = self.shape();
         let (k2, n) = other.shape();
         assert_eq!(k, k2, "matmul_nn inner dims {k} vs {k2}");
         let mut out = Tensor::zeros(m, n);
+        if out.is_empty() {
+            return out;
+        }
         let a = self.as_slice();
         let b = other.as_slice();
-        let o = out.as_mut_slice();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut o[i * n..(i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (ov, &bv) in orow.iter_mut().zip(brow) {
-                    *ov += av * bv;
-                }
-            }
-        }
+        let chunk_rows = row_chunk_len(m, m * k * n);
+        miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |_, start, c| {
+            let r0 = start / n;
+            let rows = c.len() / n;
+            kernels::gemm_nn(&a[r0 * k..(r0 + rows) * k], b, c, rows, k, n);
+        });
         out
     }
 
@@ -39,17 +69,17 @@ impl Tensor {
         let (n, k2) = other.shape();
         assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
         let mut out = Tensor::zeros(m, n);
+        if out.is_empty() {
+            return out;
+        }
         let a = self.as_slice();
         let b = other.as_slice();
-        let o = out.as_mut_slice();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let dot: f32 = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
-                o[i * n + j] = dot;
-            }
-        }
+        let chunk_rows = row_chunk_len(m, m * k * n);
+        miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |_, start, c| {
+            let r0 = start / n;
+            let rows = c.len() / n;
+            kernels::gemm_nt(&a[r0 * k..(r0 + rows) * k], b, c, rows, k, n);
+        });
         out
     }
 
@@ -59,22 +89,17 @@ impl Tensor {
         let (k2, n) = other.shape();
         assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
         let mut out = Tensor::zeros(m, n);
+        if out.is_empty() {
+            return out;
+        }
         let a = self.as_slice();
         let b = other.as_slice();
-        let o = out.as_mut_slice();
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut o[i * n..(i + 1) * n];
-                for (ov, &bv) in orow.iter_mut().zip(brow) {
-                    *ov += av * bv;
-                }
-            }
-        }
+        let chunk_rows = row_chunk_len(m, m * k * n);
+        miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |_, start, c| {
+            let i0 = start / n;
+            let i1 = i0 + c.len() / n;
+            kernels::gemm_tn(a, b, c, i0, i1, k, m, n);
+        });
         out
     }
 
@@ -90,16 +115,26 @@ impl Tensor {
         let p = bp / blocks;
         let q = bq / blocks;
         let mut out = Tensor::zeros(bp, q);
-        for blk in 0..blocks {
-            for i in 0..p {
-                let arow = self.row(blk * p + i);
-                let orow = out.row_mut(blk * p + i);
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let brow = &other.as_slice()[(blk * q + j) * k..(blk * q + j + 1) * k];
-                    *o = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
-                }
-            }
+        if out.is_empty() {
+            return out;
         }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let chunk_blocks = block_chunk_len(blocks, blocks * p * q * k);
+        miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_blocks * p * q, |_, start, c| {
+            let blk0 = start / (p * q);
+            for (bi, cblk) in c.chunks_exact_mut(p * q).enumerate() {
+                let blk = blk0 + bi;
+                kernels::gemm_nt(
+                    &a[blk * p * k..(blk + 1) * p * k],
+                    &b[blk * q * k..(blk + 1) * q * k],
+                    cblk,
+                    p,
+                    k,
+                    q,
+                );
+            }
+        });
         out
     }
 
@@ -113,22 +148,26 @@ impl Tensor {
         let p = bp / blocks;
         assert_eq!(bq / blocks, q, "bmm_nn inner dims");
         let mut out = Tensor::zeros(bp, k);
-        for blk in 0..blocks {
-            for i in 0..p {
-                let arow = self.row(blk * p + i);
-                for (jj, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow_start = (blk * q + jj) * k;
-                    let brow = &other.as_slice()[brow_start..brow_start + k];
-                    let orow = &mut out.as_mut_slice()[(blk * p + i) * k..(blk * p + i + 1) * k];
-                    for (ov, &bv) in orow.iter_mut().zip(brow) {
-                        *ov += av * bv;
-                    }
-                }
-            }
+        if out.is_empty() {
+            return out;
         }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let chunk_blocks = block_chunk_len(blocks, blocks * p * q * k);
+        miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_blocks * p * k, |_, start, c| {
+            let blk0 = start / (p * k);
+            for (bi, cblk) in c.chunks_exact_mut(p * k).enumerate() {
+                let blk = blk0 + bi;
+                kernels::gemm_nn(
+                    &a[blk * p * q..(blk + 1) * p * q],
+                    &b[blk * q * k..(blk + 1) * q * k],
+                    cblk,
+                    p,
+                    q,
+                    k,
+                );
+            }
+        });
         out
     }
 
@@ -142,22 +181,28 @@ impl Tensor {
         assert_eq!(bp % blocks, 0);
         let p = bp / blocks;
         let mut out = Tensor::zeros(blocks * q, k);
-        for blk in 0..blocks {
-            for i in 0..p {
-                let arow = self.row(blk * p + i);
-                let brow_start = (blk * p + i) * k;
-                for (jj, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let orow = &mut out.as_mut_slice()[(blk * q + jj) * k..(blk * q + jj + 1) * k];
-                    let brow = &other.as_slice()[brow_start..brow_start + k];
-                    for (ov, &bv) in orow.iter_mut().zip(brow) {
-                        *ov += av * bv;
-                    }
-                }
-            }
+        if out.is_empty() {
+            return out;
         }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let chunk_blocks = block_chunk_len(blocks, blocks * p * q * k);
+        miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_blocks * q * k, |_, start, c| {
+            let blk0 = start / (q * k);
+            for (bi, cblk) in c.chunks_exact_mut(q * k).enumerate() {
+                let blk = blk0 + bi;
+                kernels::gemm_tn(
+                    &a[blk * p * q..(blk + 1) * p * q],
+                    &b[blk * p * k..(blk + 1) * p * k],
+                    cblk,
+                    0,
+                    q,
+                    p,
+                    q,
+                    k,
+                );
+            }
+        });
         out
     }
 

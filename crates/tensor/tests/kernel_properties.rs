@@ -5,8 +5,8 @@
 use miss_tensor::Tensor;
 use miss_testkit::{prop_assert, prop_assert_eq, properties, vec_of, Strategy, StrategyExt};
 
-/// Entries rounded to two decimals in [-3, 3]: exercises cancellation and the
-/// kernels' `av == 0.0` skip path without drowning comparisons in float noise.
+/// Entries rounded to two decimals in [-3, 3]: exercises cancellation and
+/// exact zeros without drowning comparisons in float noise.
 fn entries(n: usize) -> impl Strategy<Value = Vec<f32>> {
     vec_of((-3.0f32..3.0).prop_map(|x| (x * 100.0).round() / 100.0), n..n + 1)
 }

@@ -7,13 +7,20 @@
 //! [`BenchGroup::bench_function`], and calls [`BenchGroup::finish`].
 //!
 //! Environment knobs: `TESTKIT_BENCH_SAMPLES` / `TESTKIT_BENCH_WARMUP`
-//! override iteration counts (e.g. `=3` for a smoke run in CI), and
-//! `TESTKIT_BENCH_DIR` overrides where the JSON lands.
+//! override iteration counts, and `TESTKIT_BENCH_DIR` overrides where the
+//! JSON lands. Sample counts are floored at [`MIN_SAMPLES`] regardless of
+//! source — a 3-iteration median is noise, not a measurement — and the
+//! resolved count is recorded in the JSON so consumers can judge stability.
 
 pub use std::hint::black_box;
 
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Hard floor on timed iterations per case. Applies to `sample_size` and to
+/// `TESTKIT_BENCH_SAMPLES` alike, so committed BENCH JSONs always carry at
+/// least this many samples behind each median.
+pub const MIN_SAMPLES: usize = 10;
 
 /// Per-case timing statistics, all in nanoseconds per iteration.
 #[derive(Clone, Debug)]
@@ -75,17 +82,25 @@ impl BenchGroup {
     }
 
     /// Set the number of timed iterations per case (`TESTKIT_BENCH_SAMPLES`
-    /// still wins so CI can force a quick pass).
+    /// still wins so CI can adjust, and both are floored at [`MIN_SAMPLES`]).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample_size(0)");
         self.samples = n;
         self
     }
 
+    /// The per-case sample count after applying the environment override and
+    /// the [`MIN_SAMPLES`] floor.
+    fn resolved_samples(&self) -> usize {
+        env_usize("TESTKIT_BENCH_SAMPLES")
+            .unwrap_or(self.samples)
+            .max(MIN_SAMPLES)
+    }
+
     /// Measure one case. The closure receives a [`Bencher`] and must call
     /// `iter` exactly once with the payload to time.
     pub fn bench_function(&mut self, case: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        let samples = env_usize("TESTKIT_BENCH_SAMPLES").unwrap_or(self.samples).max(1);
+        let samples = self.resolved_samples();
         let warmup = env_usize("TESTKIT_BENCH_WARMUP").unwrap_or_else(|| (samples / 10).max(2));
         let mut b = Bencher {
             samples,
@@ -127,6 +142,7 @@ impl BenchGroup {
         out.push_str("{\n");
         out.push_str(&format!("  \"group\": \"{}\",\n", escape(&self.name)));
         out.push_str("  \"unit\": \"ns_per_iter\",\n");
+        out.push_str(&format!("  \"samples\": {},\n", self.resolved_samples()));
         out.push_str("  \"cases\": [\n");
         for (i, c) in self.results.iter().enumerate() {
             out.push_str(&format!(
@@ -232,6 +248,7 @@ mod tests {
         });
         let json = g.to_json();
         assert!(json.contains("\"group\": \"unit\""));
+        assert!(json.contains("\"samples\": "));
         assert!(json.contains("\"name\": \"alpha\""));
         assert!(json.contains("\"median_ns\": 10"));
         assert!(json.contains("\"p95_ns\": 12"));
@@ -246,10 +263,12 @@ mod tests {
         g.sample_size(5);
         g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
         assert_eq!(g.results.len(), 1);
-        // TESTKIT_BENCH_SAMPLES intentionally outranks sample_size(), so the
-        // expectation must apply the same resolution rule.
-        let expect = env_usize("TESTKIT_BENCH_SAMPLES").unwrap_or(5).max(1);
+        // TESTKIT_BENCH_SAMPLES intentionally outranks sample_size(), and
+        // both are floored at MIN_SAMPLES, so the expectation must apply the
+        // same resolution rule. sample_size(5) alone resolves to the floor.
+        let expect = env_usize("TESTKIT_BENCH_SAMPLES").unwrap_or(5).max(MIN_SAMPLES);
         assert_eq!(g.results[0].iters, expect);
+        assert!(g.results[0].iters >= MIN_SAMPLES);
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Model evaluation: AUC and Logloss over a dataset split.
+//!
+//! Scoring fans batch chunks out over `miss-parallel`: chunk boundaries are
+//! a pure function of the split size, each chunk scores its batches with one
+//! reused [`Graph`], and the per-chunk score vectors are concatenated in
+//! chunk order — so the score vector (and therefore every metric) is
+//! bit-identical for any `MISS_THREADS` value.
 
-use miss_data::{BatchIter, Sample, Schema};
+use miss_data::{Batch, Sample, Schema};
 use miss_metrics::{auc, logloss};
 use miss_models::{CtrModel, ForwardOpts};
 use miss_nn::{Graph, ParamStore};
@@ -15,6 +21,51 @@ pub struct EvalResult {
     pub logloss: f64,
 }
 
+/// Sigmoid scores for every sample, in sample order (eval mode, no dropout).
+/// Parallel across fixed batch chunks; each chunk reuses one graph arena.
+fn scores(
+    model: &dyn CtrModel,
+    store: &ParamStore,
+    samples: &[Sample],
+    schema: &Schema,
+    batch_size: usize,
+) -> Vec<f32> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let n = samples.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nb = n.div_ceil(batch_size);
+    let chunk = miss_parallel::fixed_chunk_len(nb, 1);
+    let n_chunks = nb.div_ceil(chunk);
+    let per_chunk = miss_parallel::par_map(n_chunks, |ci| {
+        let b0 = ci * chunk;
+        let b1 = (b0 + chunk).min(nb);
+        let mut rng = Rng::new(0); // unused in eval mode but required by the API
+        let mut g = Graph::new(store);
+        let mut out = Vec::with_capacity((b1 - b0) * batch_size);
+        for bi in b0..b1 {
+            let lo = bi * batch_size;
+            let hi = (lo + batch_size).min(n);
+            let refs: Vec<&Sample> = samples[lo..hi].iter().collect();
+            let batch = Batch::from_samples(&refs, schema);
+            g.reset(store);
+            let mut opts = ForwardOpts {
+                training: false,
+                rng: &mut rng,
+            };
+            let logits = model.forward(&mut g, store, &batch, &mut opts);
+            miss_util::sigmoid_extend(g.tape.value(logits).as_slice(), &mut out);
+        }
+        out
+    });
+    let mut all = Vec::with_capacity(n);
+    for v in per_chunk {
+        all.extend_from_slice(&v);
+    }
+    all
+}
+
 /// Score every sample (eval mode, no dropout) and compute AUC / Logloss.
 pub fn evaluate(
     model: &dyn CtrModel,
@@ -23,21 +74,8 @@ pub fn evaluate(
     schema: &Schema,
     batch_size: usize,
 ) -> EvalResult {
-    let mut rng = Rng::new(0); // unused in eval mode but required by the API
-    let mut scores = Vec::with_capacity(samples.len());
-    let mut labels = Vec::with_capacity(samples.len());
-    for batch in BatchIter::new(samples, schema, batch_size, None) {
-        let mut g = Graph::new(store);
-        let mut opts = ForwardOpts {
-            training: false,
-            rng: &mut rng,
-        };
-        let logits = model.forward(&mut g, store, &batch, &mut opts);
-        for &z in g.tape.value(logits).as_slice() {
-            scores.push(1.0 / (1.0 + (-z).exp()));
-        }
-        labels.extend_from_slice(&batch.labels);
-    }
+    let scores = scores(model, store, samples, schema, batch_size);
+    let labels: Vec<f32> = samples.iter().map(|s| s.label).collect();
     EvalResult {
         auc: auc(&scores, &labels),
         logloss: logloss(&scores, &labels),
@@ -71,23 +109,9 @@ pub fn evaluate_gauc(
     schema: &Schema,
     batch_size: usize,
 ) -> f64 {
-    let mut rng = Rng::new(0);
-    let mut scores = Vec::with_capacity(samples.len());
-    let mut labels = Vec::with_capacity(samples.len());
-    let mut users = Vec::with_capacity(samples.len());
-    for batch in BatchIter::new(samples, schema, batch_size, None) {
-        let mut g = Graph::new(store);
-        let mut opts = ForwardOpts {
-            training: false,
-            rng: &mut rng,
-        };
-        let logits = model.forward(&mut g, store, &batch, &mut opts);
-        for &z in g.tape.value(logits).as_slice() {
-            scores.push(1.0 / (1.0 + (-z).exp()));
-        }
-        labels.extend_from_slice(&batch.labels);
-        users.extend_from_slice(&batch.cat[0]);
-    }
+    let scores = scores(model, store, samples, schema, batch_size);
+    let labels: Vec<f32> = samples.iter().map(|s| s.label).collect();
+    let users: Vec<u32> = samples.iter().map(|s| s.cat[0]).collect();
     miss_metrics::gauc(&scores, &labels, &users)
 }
 

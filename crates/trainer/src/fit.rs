@@ -71,13 +71,16 @@ pub fn train_epoch(
     let mut total = 0.0f64;
     let mut batches = 0usize;
     let mut shuffle_rng = rng.fork(0xEE0C);
+    // One graph for the whole epoch: reset per batch keeps the tape's arena
+    // allocations instead of rebuilding them a few hundred times.
+    let mut g = Graph::new(store);
     for batch in BatchIter::new(
         &dataset.train,
         &dataset.schema,
         cfg.batch_size,
         Some(&mut shuffle_rng),
     ) {
-        let mut g = Graph::new(store);
+        g.reset(store);
         let mut opts = ForwardOpts {
             training: true,
             rng,

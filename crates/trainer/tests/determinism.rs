@@ -7,7 +7,7 @@ use miss_core::{Miss, MissConfig};
 use miss_data::{BatchIter, Dataset, WorldConfig};
 use miss_models::{CtrModel, Din, ModelConfig};
 use miss_nn::{Adam, ParamStore};
-use miss_trainer::{fit, train_epoch, TrainConfig};
+use miss_trainer::{evaluate, evaluate_gauc, fit, train_epoch, TrainConfig};
 use miss_util::Rng;
 
 fn quick_cfg(seed: u64) -> TrainConfig {
@@ -84,6 +84,42 @@ fn train_epoch_loss_is_bit_identical_across_runs() {
         loss.to_bits()
     };
     assert_eq!(run(), run(), "mean epoch loss must be bit-reproducible");
+}
+
+#[test]
+fn evaluate_is_bit_identical_across_thread_counts() {
+    // evaluate() fans batch chunks over the miss-parallel pool; the ordered
+    // chunk concatenation plus the kernels' fixed accumulation order must
+    // make the metrics bit-identical for any MISS_THREADS value.
+    let dataset = Dataset::generate(WorldConfig::tiny(), 21);
+    let mut store = ParamStore::new();
+    let mut rng = Rng::new(4);
+    let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+    let run = |threads: usize| {
+        miss_parallel::with_threads(threads, || {
+            let r = evaluate(&model, &store, &dataset.test, &dataset.schema, 64);
+            let g = evaluate_gauc(&model, &store, &dataset.test, &dataset.schema, 64);
+            (r.auc.to_bits(), r.logloss.to_bits(), g.to_bits())
+        })
+    };
+    let serial = run(1);
+    for threads in [2, 4] {
+        assert_eq!(serial, run(threads), "evaluate differs at {threads} threads");
+    }
+}
+
+#[test]
+fn evaluate_batch_size_does_not_change_scores() {
+    // Chunking follows the batch count; different batch sizes regroup the
+    // forward passes but score the same samples in the same order.
+    let dataset = Dataset::generate(WorldConfig::tiny(), 21);
+    let mut store = ParamStore::new();
+    let mut rng = Rng::new(4);
+    let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+    let a = evaluate(&model, &store, &dataset.test, &dataset.schema, 64);
+    let b = evaluate(&model, &store, &dataset.test, &dataset.schema, 17);
+    assert!((a.auc - b.auc).abs() < 1e-9, "{} vs {}", a.auc, b.auc);
+    assert!((a.logloss - b.logloss).abs() < 1e-6);
 }
 
 #[test]

@@ -1,0 +1,49 @@
+//! Small numeric helpers shared across crates.
+
+/// Logistic sigmoid `1 / (1 + e^{-z})`.
+///
+/// The single definition used everywhere a logit becomes a probability
+/// (trainer evaluation, autograd's sigmoid op and BCE loss), so every layer
+/// rounds identically and bit-level determinism checks can span crates.
+#[inline]
+pub fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// [`sigmoid`] applied to every logit in a slice, appended to `out`.
+pub fn sigmoid_extend(logits: &[f32], out: &mut Vec<f32>) {
+    out.reserve(logits.len());
+    out.extend(logits.iter().map(|&z| sigmoid(z)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_known_values() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!((sigmoid(2.0) - 0.880797).abs() < 1e-6);
+        assert!((sigmoid(-2.0) - 0.119203).abs() < 1e-6);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_symmetric() {
+        for i in -20..=20 {
+            let z = i as f32 * 0.37;
+            assert!((sigmoid(z) + sigmoid(-z) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_extend_appends_in_order() {
+        let mut out = vec![0.25];
+        sigmoid_extend(&[0.0, 1.0], &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], 0.25);
+        assert_eq!(out[1], 0.5);
+        assert_eq!(out[2], sigmoid(1.0));
+    }
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh BENCH_kernels.json against the
+committed bench_baseline.json and fail when any shared case's median
+regresses by more than the tolerance (default 25%).
+
+Medians on a busy CI box are noisy; the tolerance is deliberately loose so
+the gate catches real kernel regressions (a lost tiling path, an accidental
+serial fallback) rather than scheduler jitter. New cases (present in the
+fresh run only) and retired cases (baseline only) are reported but never
+fail the gate.
+
+Usage: scripts/check_bench.py <fresh.json> <baseline.json> [tolerance]
+"""
+
+import json
+import sys
+
+
+def medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {c["name"]: c["median_ns"] for c in doc["cases"]}
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    fresh_path, base_path = sys.argv[1], sys.argv[2]
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+
+    fresh = medians(fresh_path)
+    base = medians(base_path)
+
+    failures = []
+    for name in sorted(base):
+        if name not in fresh:
+            print(f"note: case `{name}` in baseline but not in fresh run")
+            continue
+        b, f = base[name], fresh[name]
+        ratio = f / b if b else float("inf")
+        status = "ok"
+        if ratio > 1.0 + tolerance:
+            status = "REGRESSION"
+            failures.append((name, b, f, ratio))
+        print(f"{name:<36} baseline {b:>12} ns  fresh {f:>12} ns  x{ratio:.2f}  {status}")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"note: new case `{name}` (median {fresh[name]} ns), not gated")
+
+    if failures:
+        print(f"\n{len(failures)} case(s) regressed beyond {tolerance:.0%}:", file=sys.stderr)
+        for name, b, f, ratio in failures:
+            print(f"  {name}: {b} -> {f} ns (x{ratio:.2f})", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench gate passed ({len(base)} baseline cases, tolerance {tolerance:.0%})")
+
+
+if __name__ == "__main__":
+    main()

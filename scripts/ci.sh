@@ -7,6 +7,11 @@
 # crates.io access. CARGO_NET_OFFLINE makes any dependency regression fail
 # loudly instead of silently fetching.
 #
+# Tests run twice: once pinned to MISS_THREADS=1 and once at the machine's
+# default parallelism. The determinism contract says both must pass with
+# bit-identical numerics; a schedule-dependent bug shows up as exactly one
+# of the two runs failing.
+#
 # Usage: scripts/ci.sh            # full run
 #        TESTKIT_BENCH_SAMPLES=10 scripts/ci.sh   # faster benches
 
@@ -18,7 +23,10 @@ export CARGO_NET_OFFLINE=true
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
-echo "==> tier-1: cargo test -q"
+echo "==> tier-1: cargo test -q (MISS_THREADS=1)"
+MISS_THREADS=1 cargo test -q
+
+echo "==> tier-1: cargo test -q (default MISS_THREADS)"
 cargo test -q
 
 echo "==> benches: cargo bench"
@@ -33,4 +41,7 @@ for f in BENCH_kernels.json BENCH_training_step.json BENCH_data_pipeline.json; d
 done
 [[ "$missing" -eq 0 ]] || exit 1
 
-echo "==> OK: build, tests and benches all green offline"
+echo "==> bench gate: kernels medians vs bench_baseline.json"
+python3 scripts/check_bench.py BENCH_kernels.json bench_baseline.json 0.25
+
+echo "==> OK: build, tests (both thread modes), benches and bench gate green offline"
