@@ -44,6 +44,30 @@ impl Grads {
     pub fn take(&mut self, v: Var) -> Option<Tensor> {
         self.dense.get_mut(v.0).and_then(|g| g.take())
     }
+
+    /// Fold `later` into `self`, the deterministic micro-batch reduction
+    /// primitive: for every `(into, from)` pair, `later`'s gradient of
+    /// `from` is accumulated into `self`'s slot for `into` (pairs are
+    /// processed in the order given, so repeated folds in micro-batch index
+    /// order always round identically), and `later`'s sparse contributions
+    /// are appended after `self`'s, preserving creation order.
+    ///
+    /// The pairs map leaves of `later`'s tape onto leaves of `self`'s tape;
+    /// the two tapes need not be structurally identical. A `from` var with
+    /// no recorded gradient (disconnected from its loss) is skipped.
+    pub fn merge_ordered(&mut self, mut later: Grads, pairs: &[(Var, Var)]) {
+        for &(into, from) in pairs {
+            let Some(g) = later.take(from) else { continue };
+            if into.0 >= self.dense.len() {
+                self.dense.resize_with(into.0 + 1, || None);
+            }
+            match &mut self.dense[into.0] {
+                Some(acc) => acc.add_assign(&g),
+                slot @ None => *slot = Some(g),
+            }
+        }
+        self.sparse.append(&mut later.sparse);
+    }
 }
 
 /// Context handed to backward closures: gradient accumulators plus the
@@ -64,7 +88,9 @@ impl BackwardCtx {
     }
 }
 
-type BackwardFn = Box<dyn FnOnce(&Tensor, &[Tensor], &mut BackwardCtx)>;
+/// `Send` so a whole tape (and any graph wrapping it) can live on a
+/// worker thread of the deterministic training pool.
+type BackwardFn = Box<dyn FnOnce(&Tensor, &[Tensor], &mut BackwardCtx) + Send>;
 
 /// A recorded forward computation.
 ///
@@ -173,7 +199,7 @@ impl Tape {
         &mut self,
         inputs: &[Var],
         value: Tensor,
-        backward: impl FnOnce(&Tensor, &[Tensor], &mut BackwardCtx) + 'static,
+        backward: impl FnOnce(&Tensor, &[Tensor], &mut BackwardCtx) + Send + 'static,
     ) -> Var {
         let needs = inputs.iter().any(|v| self.requires_grad[v.0]);
         if needs {
@@ -261,6 +287,56 @@ mod tests {
         let s = tape.sum_all(y);
         let grads = tape.backward(s);
         assert_eq!(grads.expect(x).as_slice(), &[2., 2.]);
+    }
+
+    #[test]
+    fn merge_ordered_accumulates_dense_and_appends_sparse() {
+        // Two independent tapes playing the role of two micro-batches.
+        let mut t1 = Tape::new();
+        let x1 = t1.leaf(Tensor::from_vec(1, 2, vec![1., 2.]));
+        let e1 = t1.embed(3, Tensor::from_vec(1, 2, vec![0.5, 0.5]), vec![4]);
+        let s1 = {
+            let y = t1.scale(x1, 2.0);
+            let z = t1.add(y, e1);
+            t1.sum_all(z)
+        };
+        let mut g1 = t1.backward(s1);
+
+        let mut t2 = Tape::new();
+        let x2 = t2.leaf(Tensor::from_vec(1, 2, vec![10., 20.]));
+        let e2 = t2.embed(3, Tensor::from_vec(1, 2, vec![0.1, 0.2]), vec![7]);
+        let s2 = {
+            let y = t2.scale(x2, 3.0);
+            let z = t2.add(y, e2);
+            t2.sum_all(z)
+        };
+        let g2 = t2.backward(s2);
+
+        g1.merge_ordered(g2, &[(x1, x2)]);
+        // d/dx1 of tape1 is 2, plus tape2's 3 folded in.
+        assert_eq!(g1.expect(x1).as_slice(), &[5.0, 5.0]);
+        // Sparse contributions concatenate in micro-batch order.
+        assert_eq!(g1.sparse.len(), 2);
+        assert_eq!(g1.sparse[0].indices, vec![4]);
+        assert_eq!(g1.sparse[1].indices, vec![7]);
+    }
+
+    #[test]
+    fn merge_ordered_skips_disconnected_leaves() {
+        let mut t1 = Tape::new();
+        let x1 = t1.leaf(Tensor::from_vec(1, 1, vec![1.0]));
+        let s1 = t1.sum_all(x1);
+        let mut g1 = t1.backward(s1);
+
+        let mut t2 = Tape::new();
+        let x2 = t2.leaf(Tensor::from_vec(1, 1, vec![2.0]));
+        let dead = t2.leaf(Tensor::from_vec(1, 1, vec![9.0]));
+        let s2 = t2.sum_all(x2);
+        let g2 = t2.backward(s2);
+
+        g1.merge_ordered(g2, &[(x1, dead), (x1, x2)]);
+        // `dead` never reached the loss: only x2's gradient (1.0) folds in.
+        assert_eq!(g1.expect(x1).as_slice(), &[2.0]);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use miss_models::{CtrModel, Din, ForwardOpts, Ipnn, ModelConfig};
 use miss_nn::{Adam, Graph, ParamStore};
 use miss_tensor::Tensor;
 use miss_testkit::bench::{black_box, BenchGroup};
-use miss_trainer::evaluate;
+use miss_trainer::{evaluate, train_epoch, TrainConfig};
 use miss_util::Rng;
 
 fn setup() -> (Dataset, Batch) {
@@ -112,4 +112,42 @@ fn main() {
     });
 
     group.finish();
+
+    // Whole-epoch wall clock, serial vs parallel. Same model, same data,
+    // same canonical micro-batch schedule — only the thread count differs,
+    // and (per the determinism contract) only wall-clock may change.
+    // `BENCH_training.json` is gated by scripts/ci.sh: the parallel case
+    // must exist and neither median may regress past the 25% tolerance.
+    let mut training = BenchGroup::new("training");
+    training.sample_size(10);
+    let epoch_cfg = TrainConfig {
+        batch_size: 128,
+        ..TrainConfig::default()
+    };
+    let epoch_case = |name: &str, threads: usize, training: &mut BenchGroup| {
+        training.bench_function(name, |bch| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(0);
+            let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+            let mut adam = Adam::new(epoch_cfg.lr, epoch_cfg.l2);
+            let mut epoch_rng = Rng::new(0);
+            bch.iter(|| {
+                miss_parallel::with_threads(threads, || {
+                    black_box(train_epoch(
+                        &model,
+                        None,
+                        &mut store,
+                        &mut adam,
+                        &dataset,
+                        &epoch_cfg,
+                        &mut epoch_rng,
+                        true,
+                    ))
+                })
+            })
+        });
+    };
+    epoch_case("train_epoch_serial", 1, &mut training);
+    epoch_case("train_epoch_parallel", 4, &mut training);
+    training.finish();
 }

@@ -13,7 +13,11 @@ use miss_util::Rng;
 /// An auxiliary self-supervised objective attached to a base CTR model.
 /// Returns the *weighted* auxiliary loss to be added to the log-loss, or
 /// `None` when the batch cannot support it (e.g. batch size 1).
-pub trait SslMethod {
+///
+/// `Send + Sync` is part of the contract (mirroring `CtrModel`): the
+/// trainer's micro-batch workers call `ssl_loss` concurrently on shared
+/// references, so implementations must not cache per-call state in `&self`.
+pub trait SslMethod: Send + Sync {
     /// Display name used in experiment tables.
     fn name(&self) -> &'static str;
 

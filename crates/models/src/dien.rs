@@ -9,6 +9,7 @@ use miss_data::{Batch, Schema};
 use miss_nn::{dropout, AuGruCell, Graph, GruCell, Mlp, ParamStore};
 use miss_tensor::Tensor;
 use miss_util::Rng;
+use std::collections::HashMap;
 use std::sync::Mutex;
 
 /// DIEN baseline.
@@ -27,10 +28,14 @@ pub struct Dien {
     augru: AuGruCell,
     deep: Mlp,
     dropout: f32,
-    /// Cached by `forward` for `extra_loss` on the same graph. A `Mutex`
-    /// (not `RefCell`) so the model stays `Sync` for parallel evaluation;
-    /// the training path that actually reads it is serial.
-    state: Mutex<Option<DienState>>,
+    /// Cached by `forward` for `extra_loss` on the same graph, keyed by
+    /// [`Graph::id`] so concurrent training workers (each with its own
+    /// graph) never read or clobber each other's state. Only training-mode
+    /// forwards insert (eval never calls `extra_loss`), and `extra_loss`
+    /// removes its entry, so the map stays bounded by the worker count and
+    /// the lock is held only for the insert/remove — never across a
+    /// forward. The `Mutex` keeps the model `Send + Sync`.
+    state: Mutex<HashMap<u64, DienState>>,
 }
 
 impl Dien {
@@ -45,7 +50,7 @@ impl Dien {
             augru: AuGruCell::new(store, "dien.augru", k, k, rng),
             deep: Mlp::relu_tower(store, "dien.deep", in_dim, &cfg.mlp_sizes, rng),
             dropout: cfg.dropout,
-            state: Mutex::new(None),
+            state: Mutex::new(HashMap::new()),
         }
     }
 
@@ -124,10 +129,17 @@ impl CtrModel for Dien {
             hv = g.tape.add(keep_new, keep_old);
         }
 
-        *self.state.lock().unwrap() = Some(DienState {
-            hidden,
-            seq_emb: seq,
-        });
+        if opts.training {
+            // Replaces any state a previous step left under this graph's id,
+            // so the map never grows past one entry per live worker graph.
+            self.state.lock().unwrap().insert(
+                g.id(),
+                DienState {
+                    hidden,
+                    seq_emb: seq,
+                },
+            );
+        }
 
         let mut parts = self.emb.embed_all_cat(g, store, batch);
         let cat_seq = self.emb.embed_seq_field(g, store, batch, 1);
@@ -149,7 +161,7 @@ impl CtrModel for Dien {
         batch: &Batch,
         opts: &mut ForwardOpts,
     ) -> Option<Var> {
-        let state = self.state.lock().unwrap().take()?;
+        let state = self.state.lock().unwrap().remove(&g.id())?;
         let b = batch.size;
         let l = batch.seq_len;
         let item_vocab = self.emb.schema().seq_fields[0].vocab;
@@ -234,6 +246,49 @@ mod tests {
         let v = g.tape.value(aux).item();
         assert!(v.is_finite() && v >= 0.0);
         // consumed: second call yields none
+        assert!(model.extra_loss(&mut g, &store, &batch, &mut opts).is_none());
+    }
+
+    /// Two graphs forwarding concurrently (interleaved here) must each get
+    /// the aux-loss state of *their own* forward, not the last one globally
+    /// — the property parallel training workers rely on.
+    #[test]
+    fn aux_state_is_per_graph() {
+        let (dataset, batch) = tiny_batch();
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(3);
+        let model = Dien::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+        let mut ga = Graph::new(&store);
+        let mut gb = Graph::new(&store);
+        let mut rng_a = Rng::new(10);
+        let mut rng_b = Rng::new(20);
+        let mut opts_a = ForwardOpts { training: true, rng: &mut rng_a };
+        let mut opts_b = ForwardOpts { training: true, rng: &mut rng_b };
+        model.forward(&mut ga, &store, &batch, &mut opts_a);
+        // B's forward lands between A's forward and A's extra_loss.
+        model.forward(&mut gb, &store, &batch, &mut opts_b);
+        let la = model.extra_loss(&mut ga, &store, &batch, &mut opts_a);
+        let lb = model.extra_loss(&mut gb, &store, &batch, &mut opts_b);
+        let la = la.expect("graph A kept its state");
+        let lb = lb.expect("graph B kept its state");
+        assert!(ga.tape.value(la).item().is_finite());
+        assert!(gb.tape.value(lb).item().is_finite());
+        // Both consumed: a second call on either graph yields nothing.
+        assert!(model.extra_loss(&mut ga, &store, &batch, &mut opts_a).is_none());
+        assert!(model.extra_loss(&mut gb, &store, &batch, &mut opts_b).is_none());
+    }
+
+    /// Eval-mode forwards must not grow the aux-state map (eval never calls
+    /// `extra_loss`, so inserting there would leak one entry per graph).
+    #[test]
+    fn eval_forward_leaves_no_state() {
+        let (dataset, batch) = tiny_batch();
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(5);
+        let model = Dien::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+        let mut g = Graph::new(&store);
+        let mut opts = ForwardOpts { training: false, rng: &mut rng };
+        model.forward(&mut g, &store, &batch, &mut opts);
         assert!(model.extra_loss(&mut g, &store, &batch, &mut opts).is_none());
     }
 

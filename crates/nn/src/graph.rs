@@ -4,6 +4,10 @@ use crate::store::{DenseId, ParamStore, TableId};
 use miss_autograd::{Tape, Var};
 use miss_tensor::Tensor;
 use miss_util::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide graph identity counter; see [`Graph::id`].
+static NEXT_GRAPH_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A forward/backward step: wraps a fresh [`Tape`] and records which tape
 /// leaves correspond to which store parameters so the optimiser can route
@@ -16,6 +20,7 @@ pub struct Graph {
     pub tape: Tape,
     dense_bindings: Vec<(DenseId, Var)>,
     dense_cache: Vec<Option<Var>>,
+    id: u64,
 }
 
 impl Graph {
@@ -25,7 +30,16 @@ impl Graph {
             tape: Tape::new(),
             dense_bindings: Vec::new(),
             dense_cache: vec![None; store.dense.len()],
+            id: NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// Process-unique, stable identity of this graph instance. Survives
+    /// [`Graph::reset`], so models that cache forward state for a later
+    /// `extra_loss` on the *same* graph (DIEN) can key it per graph and
+    /// stay contention-free when many worker graphs run concurrently.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Clear the step's recordings while keeping the tape's arena capacity,
@@ -141,6 +155,17 @@ mod tests {
         let grads = g.tape.backward(loss);
         assert_eq!(grads.expect(w).as_slice(), &[4.0, 6.0]);
         assert_eq!(g.dense_bindings().len(), 1);
+    }
+
+    #[test]
+    fn graph_ids_are_unique_and_stable_across_reset() {
+        let store = ParamStore::new();
+        let mut a = Graph::new(&store);
+        let b = Graph::new(&store);
+        assert_ne!(a.id(), b.id());
+        let id = a.id();
+        a.reset(&store);
+        assert_eq!(a.id(), id, "reset must not change graph identity");
     }
 
     #[test]

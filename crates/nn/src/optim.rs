@@ -1,10 +1,8 @@
 //! Adam optimiser with dense and lazy-sparse updates.
 
 use crate::graph::Graph;
-use crate::store::ParamStore;
-use miss_autograd::Grads;
-use miss_tensor::Tensor;
-use std::collections::HashMap;
+use crate::store::{DenseId, ParamStore};
+use miss_autograd::{Grads, Var};
 
 /// Adam (Kingma & Ba, 2015) — the optimiser the paper uses — with optional
 /// decoupled-from-nothing classic L2 regularisation added to the gradient.
@@ -25,6 +23,13 @@ pub struct Adam {
     /// L2 regularisation weight (applied to the gradient).
     pub l2: f32,
     t: u64,
+    /// Sparse-merge scratch: one `(table<<32|row, arrival)` entry per looked-
+    /// up row, re-sorted each step. Reused so steady-state steps allocate
+    /// nothing on the sparse path.
+    merge_entries: Vec<(u64, u32)>,
+    /// Sparse-merge scratch: the summed gradient of the row currently being
+    /// applied (sized to that table's dim).
+    merge_buf: Vec<f32>,
 }
 
 impl Adam {
@@ -37,6 +42,8 @@ impl Adam {
             eps: 1e-8,
             l2,
             t: 0,
+            merge_entries: Vec::new(),
+            merge_buf: Vec::new(),
         }
     }
 
@@ -47,13 +54,27 @@ impl Adam {
 
     /// Apply one step: dense gradients via the graph's bindings, sparse
     /// gradients from the backward result.
-    pub fn step(&mut self, store: &mut ParamStore, graph: &Graph, mut grads: Grads) {
+    pub fn step(&mut self, store: &mut ParamStore, graph: &Graph, grads: Grads) {
+        self.step_with_bindings(store, graph.dense_bindings(), grads);
+    }
+
+    /// [`Adam::step`] with the `(DenseId, Var)` bindings passed explicitly.
+    /// The trainer's micro-batch reduction uses this form: the reduced
+    /// [`Grads`] lives in the first micro-batch's var numbering, whose graph
+    /// has since been reset for the next shard, so the bindings travel with
+    /// the gradients instead of with a live graph.
+    pub fn step_with_bindings(
+        &mut self,
+        store: &mut ParamStore,
+        bindings: &[(DenseId, Var)],
+        mut grads: Grads,
+    ) {
         self.t += 1;
         let t = self.t as i32;
         let bc1 = 1.0 - self.beta1.powi(t);
         let bc2 = 1.0 - self.beta2.powi(t);
 
-        for &(id, var) in graph.dense_bindings() {
+        for &(id, var) in bindings {
             let Some(g) = grads.take(var) else { continue };
             let p = &mut store.dense[id.0];
             let (w, m, v) = (
@@ -71,38 +92,74 @@ impl Adam {
             }
         }
 
-        // Merge sparse contributions per (table, row).
-        let mut merged: HashMap<(usize, u32), Tensor> = HashMap::new();
-        for sg in grads.sparse.drain(..) {
+        self.step_sparse(store, &grads, bc1, bc2);
+    }
+
+    /// Fused sparse merge + update. One `(packed key, arrival rank)` entry
+    /// per looked-up row is sorted so that duplicate `(table, row)` keys
+    /// become adjacent *and* keep their arrival order (the order the
+    /// backward passes emitted them, which the trainer's ordered reduction
+    /// already fixed); each run is then summed into a flat scratch buffer
+    /// and applied in place. No per-row heap allocation, no hash map, and
+    /// the application order — ascending `(table, row)` — is a pure
+    /// function of the touched key set.
+    fn step_sparse(&mut self, store: &mut ParamStore, grads: &Grads, bc1: f32, bc2: f32) {
+        self.merge_entries.clear();
+        let mut row_of = Vec::with_capacity(grads.sparse.len() + 1);
+        row_of.push(0u32);
+        for sg in &grads.sparse {
+            let base = *row_of.last().unwrap();
+            let t = (sg.table_id as u64) << 32;
             for (r, &idx) in sg.indices.iter().enumerate() {
-                let dim = sg.grad_rows.cols();
-                let row = Tensor::from_vec(1, dim, sg.grad_rows.row(r).to_vec());
-                merged
-                    .entry((sg.table_id, idx))
-                    .and_modify(|acc| acc.add_assign(&row))
-                    .or_insert(row);
+                self.merge_entries.push((t | idx as u64, base + r as u32));
             }
+            row_of.push(base + sg.indices.len() as u32);
         }
-        // Deterministic application order.
-        let mut keys: Vec<(usize, u32)> = merged.keys().copied().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let (table_id, idx) = key;
-            let g = &merged[&key];
+        // Arrival rank is unique, so the full key is totally ordered and
+        // `sort_unstable` is deterministic (and stable on the packed key).
+        self.merge_entries.sort_unstable();
+
+        let mut i = 0;
+        let mut prev_table = 0usize;
+        while i < self.merge_entries.len() {
+            let (key, _) = self.merge_entries[i];
+            let table_id = (key >> 32) as usize;
+            let idx = key as u32 as usize;
+            assert!(
+                table_id >= prev_table,
+                "merged sparse rows must stay contiguous per table"
+            );
+            prev_table = table_id;
+            let dim = store.tables[table_id].dim;
+            self.merge_buf.clear();
+            self.merge_buf.resize(dim, 0.0);
+            let mut j = i;
+            while j < self.merge_entries.len() && self.merge_entries[j].0 == key {
+                let rank = self.merge_entries[j].1;
+                // Locate (source grad, row) for this arrival rank.
+                let sgi = row_of.partition_point(|&b| b <= rank) - 1;
+                let sg = &grads.sparse[sgi];
+                let row = sg.grad_rows.row((rank - row_of[sgi]) as usize);
+                debug_assert_eq!(row.len(), dim, "grad row width != table dim");
+                for (acc, &g) in self.merge_buf.iter_mut().zip(row) {
+                    *acc += g;
+                }
+                j += 1;
+            }
             let table = &mut store.tables[table_id];
-            let dim = table.dim;
-            let off = idx as usize * dim;
+            let off = idx * dim;
             let w = &mut table.value.as_mut_slice()[off..off + dim];
             let m = &mut table.m.as_mut_slice()[off..off + dim];
             let v = &mut table.v.as_mut_slice()[off..off + dim];
-            for i in 0..dim {
-                let gi = g.as_slice()[i] + self.l2 * w[i];
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * gi;
-                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * gi * gi;
-                let mhat = m[i] / bc1;
-                let vhat = v[i] / bc2;
-                w[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            for k in 0..dim {
+                let gi = self.merge_buf[k] + self.l2 * w[k];
+                m[k] = self.beta1 * m[k] + (1.0 - self.beta1) * gi;
+                v[k] = self.beta2 * v[k] + (1.0 - self.beta2) * gi * gi;
+                let mhat = m[k] / bc1;
+                let vhat = v[k] / bc2;
+                w[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
+            i = j;
         }
     }
 }
@@ -183,6 +240,74 @@ mod tests {
             (s1.table_ref(t1).value.get(0, 0) - s2.table_ref(t2).value.get(0, 0)).abs() < 1e-6,
             "merged duplicate update must equal single summed update"
         );
+    }
+
+    /// Duplicates arriving in *different* SparseGrad entries (the shape the
+    /// micro-batch reduction produces) must merge exactly like duplicates
+    /// inside one entry.
+    #[test]
+    fn duplicates_across_sparse_grads_merge() {
+        let mut s1 = ParamStore::new();
+        let t1 = s1.table("e", 3, 2, init::constant(0.0));
+        let mut a1 = Adam::new(0.1, 0.0);
+        let mut g = Graph::new(&s1);
+        // Two separate lookups of row 1 -> two SparseGrad entries.
+        let ea = g.embed(&s1, t1, &[1, 2]);
+        let eb = g.embed(&s1, t1, &[1]);
+        let sa = g.tape.sum_all(ea);
+        let sb = g.tape.sum_all(eb);
+        let loss = g.tape.add(sa, sb);
+        let grads = g.tape.backward(loss);
+        a1.step(&mut s1, &g, grads);
+
+        // Reference: one lookup of row 1 scaled by 2.
+        let mut s2 = ParamStore::new();
+        let t2 = s2.table("e", 3, 2, init::constant(0.0));
+        let mut a2 = Adam::new(0.1, 0.0);
+        let mut g2 = Graph::new(&s2);
+        let e1 = g2.embed(&s2, t2, &[1]);
+        let e2 = g2.embed(&s2, t2, &[2]);
+        let doubled = g2.tape.scale(e1, 2.0);
+        let s = g2.tape.sum_all(doubled);
+        let s2b = g2.tape.sum_all(e2);
+        let loss2 = g2.tape.add(s, s2b);
+        let grads2 = g2.tape.backward(loss2);
+        a2.step(&mut s2, &g2, grads2);
+
+        for row in 0..3 {
+            for c in 0..2 {
+                assert_eq!(
+                    s1.table_ref(t1).value.get(row, c),
+                    s2.table_ref(t2).value.get(row, c),
+                    "row {row} col {c} diverged"
+                );
+            }
+        }
+    }
+
+    /// Tables of different dims in one step: the fused merge must size its
+    /// scratch per table and keep each table's rows contiguous.
+    #[test]
+    fn sparse_merge_handles_mixed_table_dims() {
+        let mut store = ParamStore::new();
+        let ta = store.table("a", 4, 2, init::constant(1.0));
+        let tb = store.table("b", 4, 5, init::constant(1.0));
+        let mut adam = Adam::new(0.05, 0.0);
+        for _ in 0..3 {
+            let mut g = Graph::new(&store);
+            let ea = g.embed(&store, ta, &[3, 0, 3]);
+            let eb = g.embed(&store, tb, &[2, 2]);
+            let sa = g.tape.sum_all(ea);
+            let sb = g.tape.sum_all(eb);
+            let loss = g.tape.add(sa, sb);
+            let grads = g.tape.backward(loss);
+            adam.step(&mut store, &g, grads);
+        }
+        assert!(store.table_ref(ta).value.get(0, 0) < 1.0);
+        assert!(store.table_ref(ta).value.get(3, 1) < 1.0);
+        assert!(store.table_ref(tb).value.get(2, 4) < 1.0);
+        assert_eq!(store.table_ref(ta).value.get(1, 0), 1.0, "untouched row moved");
+        assert_eq!(store.table_ref(tb).value.get(0, 0), 1.0, "untouched row moved");
     }
 
     #[test]

@@ -147,9 +147,38 @@ impl ParamStore {
             + self.tables.iter().map(|t| t.value.len()).sum::<usize>()
     }
 
+    /// Ids of all registered dense parameters, in registration order. The
+    /// trainer's micro-batch workers pre-bind every dense param through this
+    /// list so all micro-graphs share one binding order (and hence one var
+    /// numbering), which is what makes their gradient lists zip-mergeable.
+    pub fn dense_ids(&self) -> Vec<DenseId> {
+        (0..self.dense.len()).map(DenseId).collect()
+    }
+
     /// Names of all registered dense parameters (diagnostics).
     pub fn dense_names(&self) -> Vec<&str> {
         self.dense.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// FNV-1a hash over the raw bit patterns of every parameter value
+    /// (dense matrices then embedding tables, in registration order).
+    /// Two stores fingerprint equal iff their weights are *bitwise*
+    /// identical — the equality the determinism regressions assert across
+    /// thread counts and micro-batch schedules.
+    pub fn params_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut eat = |t: &Tensor| {
+            for &v in t.as_slice() {
+                h = (h ^ v.to_bits() as u64).wrapping_mul(0x100000001b3);
+            }
+        };
+        for p in &self.dense {
+            eat(&p.value);
+        }
+        for t in &self.tables {
+            eat(&t.value);
+        }
+        h
     }
 }
 
@@ -184,6 +213,26 @@ mod tests {
         assert_eq!(g.row(0), &[30.0, 31.0]);
         assert_eq!(g.row(1), &[0.0, 1.0]);
         assert_eq!(g.row(2), &[30.0, 31.0]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_bitwise_weight_changes() {
+        let build = || {
+            let mut s = ParamStore::new();
+            s.dense("w", 2, 3, |r, c| Tensor::from_fn(r, c, |i, j| (i + j) as f32));
+            s.table("e", 4, 2, |r, c| Tensor::full(r, c, 0.5));
+            s
+        };
+        let a = build();
+        let mut b = build();
+        assert_eq!(a.params_fingerprint(), b.params_fingerprint());
+        let id = b.dense("w", 2, 3, |r, c| Tensor::zeros(r, c));
+        b.dense_value_mut(id).as_mut_slice()[0] += 1e-7;
+        assert_ne!(
+            a.params_fingerprint(),
+            b.params_fingerprint(),
+            "a one-ulp weight change must flip the fingerprint"
+        );
     }
 
     #[test]

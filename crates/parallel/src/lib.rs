@@ -190,9 +190,36 @@ pub fn par_chunks_mut<T: Send>(
     });
 }
 
+/// Run `f(i, &mut items[i])` for every item in parallel: the per-index
+/// special case of [`par_chunks_mut`]. Each worker gets exclusive `&mut`
+/// access to exactly one slot at a time, so long-lived per-worker state
+/// (scratch graphs, arenas) can live in `items` and be reused across calls
+/// with zero cloning. What `f` computes must depend on `i` and the slot
+/// alone, keeping results schedule-independent.
+pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+    par_chunks_mut(items, 1, |i, _, chunk| f(i, &mut chunk[0]));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn par_for_each_mut_gives_each_slot_its_index() {
+        for threads in [1, 2, 5] {
+            let mut slots = vec![(0usize, String::new()); 23];
+            with_threads(threads, || {
+                par_for_each_mut(&mut slots, |i, s| {
+                    s.0 = i * 3;
+                    s.1 = format!("slot{i}");
+                });
+            });
+            for (i, s) in slots.iter().enumerate() {
+                assert_eq!(s.0, i * 3);
+                assert_eq!(s.1, format!("slot{i}"));
+            }
+        }
+    }
 
     #[test]
     fn par_map_preserves_index_order() {

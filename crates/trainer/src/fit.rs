@@ -2,10 +2,12 @@
 //! pre-training alternative compared in Table IX.
 
 use crate::evaluate::{evaluate, EvalResult};
+use miss_autograd::{Grads, Var};
 use miss_core::SslMethod;
-use miss_data::{BatchIter, Dataset};
+use miss_data::{Batch, Dataset, Sample};
 use miss_models::{CtrModel, ForwardOpts};
-use miss_nn::{Adam, Graph, ParamStore};
+use miss_nn::{Adam, DenseId, Graph, ParamStore};
+use miss_parallel::par_for_each_mut;
 use miss_tensor::Tensor;
 use miss_util::Rng;
 
@@ -27,6 +29,12 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Weight of a model's own auxiliary loss (DIEN), when present.
     pub extra_loss_weight: f32,
+    /// How many consecutive micro-batches each parallel task processes.
+    /// **Scheduling-only**: micro-batch boundaries, per-micro RNG streams,
+    /// and the gradient reduction order are all fixed by the minibatch alone
+    /// (see [`micro_batch_len`]), so any value produces bitwise-identical
+    /// weights — only task granularity (and hence load balance) changes.
+    pub micro_batches_per_task: usize,
 }
 
 impl Default for TrainConfig {
@@ -39,6 +47,7 @@ impl Default for TrainConfig {
             patience: 2,
             seed: 0,
             extra_loss_weight: 0.5,
+            micro_batches_per_task: 1,
         }
     }
 }
@@ -54,9 +63,61 @@ pub struct FitOutcome {
     pub epochs: usize,
 }
 
+/// Number of micro-batches a minibatch is cut into (before the
+/// [`MIN_MICRO_ROWS`] floor). Like `miss_parallel::FIXED_CHUNKS` this is a
+/// constant of the *computation*, never of the thread count.
+pub const TRAIN_MICRO_CHUNKS: usize = 8;
+
+/// Smallest useful micro-batch: below this the per-shard forward overhead
+/// (and, for SSL, the in-batch negative pool) degrades faster than the
+/// parallelism helps.
+pub const MIN_MICRO_ROWS: usize = 16;
+
+/// Rows per micro-batch for a minibatch of `batch` rows:
+/// `ceil(batch / TRAIN_MICRO_CHUNKS)` raised to [`MIN_MICRO_ROWS`]. A pure
+/// function of the minibatch size — micro boundaries (and therefore losses,
+/// gradients, and the fitted weights) are identical for every `MISS_THREADS`
+/// and every [`TrainConfig::micro_batches_per_task`].
+pub fn micro_batch_len(batch: usize) -> usize {
+    batch.div_ceil(TRAIN_MICRO_CHUNKS).max(MIN_MICRO_ROWS)
+}
+
+/// What a worker hands back per micro-batch: the scaled loss value, the raw
+/// backward result, and the `(DenseId, Var)` bindings that give the grads
+/// meaning once the worker's graph has been reset for its next shard.
+struct MicroOut {
+    loss: f64,
+    grads: Grads,
+    bindings: Vec<(DenseId, Var)>,
+}
+
+/// One micro-batch of work: the sample refs (batch assembly happens on the
+/// worker) and the micro's own RNG stream, forked from the epoch RNG on the
+/// main thread in micro index order so it is schedule-independent.
+struct MicroJob<'a> {
+    refs: Vec<&'a Sample>,
+    rng: Rng,
+}
+
+/// A parallel task's long-lived slot: the reused graph plus this minibatch's
+/// jobs and outputs. Slots persist across minibatches so each task index
+/// keeps one tape arena (and one stable `Graph::id`) for the whole epoch.
+struct TrainSlot<'a> {
+    graph: Graph,
+    jobs: Vec<MicroJob<'a>>,
+    outs: Vec<Option<MicroOut>>,
+}
+
 /// One training epoch. `ssl` optionally contributes its (already weighted)
 /// auxiliary loss; `ctr_loss` switches the main log-loss on/off (off during
 /// SSL-only pre-training). Returns the mean training loss.
+///
+/// Each minibatch is sharded into [`micro_batch_len`]-row micro-batches that
+/// run forward + backward in parallel over the `miss-parallel` pool; every
+/// micro's loss is scaled by `rows/batch` so the shard losses sum to the
+/// minibatch mean, and gradients are folded in micro index order
+/// ([`Grads::merge_ordered`]) before a single Adam step. The result is
+/// bitwise identical for any `MISS_THREADS` and any task grouping.
 #[allow(clippy::too_many_arguments)]
 pub fn train_epoch(
     model: &dyn CtrModel,
@@ -71,45 +132,127 @@ pub fn train_epoch(
     let mut total = 0.0f64;
     let mut batches = 0usize;
     let mut shuffle_rng = rng.fork(0xEE0C);
-    // One graph for the whole epoch: reset per batch keeps the tape's arena
-    // allocations instead of rebuilding them a few hundred times.
-    let mut g = Graph::new(store);
-    for batch in BatchIter::new(
-        &dataset.train,
-        &dataset.schema,
-        cfg.batch_size,
-        Some(&mut shuffle_rng),
-    ) {
-        g.reset(store);
-        let mut opts = ForwardOpts {
-            training: true,
-            rng,
-        };
-        let mut loss = if ctr_loss {
-            let logits = model.forward(&mut g, store, &batch, &mut opts);
-            let labels = Tensor::from_vec(batch.size, 1, batch.labels.clone());
-            let mut l = g.tape.bce_with_logits_mean(logits, labels);
-            if let Some(extra) = model.extra_loss(&mut g, store, &batch, &mut opts) {
-                let w = g.tape.scale(extra, cfg.extra_loss_weight);
-                l = g.tape.add(l, w);
-            }
-            Some(l)
-        } else {
-            None
-        };
-        if let Some(method) = ssl {
-            if let Some(aux) = method.ssl_loss(&mut g, store, model.embedding(), &batch, rng) {
-                loss = Some(match loss {
-                    Some(l) => g.tape.add(l, aux),
-                    None => aux,
+    let mut order: Vec<usize> = (0..dataset.train.len()).collect();
+    shuffle_rng.shuffle(&mut order);
+    // Every micro-graph binds all dense params up front, in store order, so
+    // the per-micro gradient lists can be zip-merged without any lookup.
+    let dense_ids = store.dense_ids();
+    let group = cfg.micro_batches_per_task.max(1);
+    let schema = &dataset.schema;
+    let extra_loss_weight = cfg.extra_loss_weight;
+    let mut slots: Vec<TrainSlot> = Vec::new();
+
+    let mut pos = 0usize;
+    while pos < order.len() {
+        let end = (pos + cfg.batch_size).min(order.len());
+        let mb_rows = end - pos;
+        let micro_len = micro_batch_len(mb_rows);
+        let n_micros = mb_rows.div_ceil(micro_len);
+        let n_tasks = n_micros.div_ceil(group);
+        while slots.len() < n_tasks {
+            slots.push(TrainSlot {
+                graph: Graph::new(store),
+                jobs: Vec::new(),
+                outs: Vec::new(),
+            });
+        }
+        for slot in slots.iter_mut() {
+            slot.jobs.clear();
+            slot.outs.clear();
+        }
+        // Fork the per-micro RNG streams on the main thread, in micro order.
+        for m in 0..n_micros {
+            let ms = pos + m * micro_len;
+            let me = (ms + micro_len).min(end);
+            let refs: Vec<&Sample> = order[ms..me].iter().map(|&i| &dataset.train[i]).collect();
+            slots[m / group].jobs.push(MicroJob {
+                refs,
+                rng: rng.fork(0x51AD),
+            });
+        }
+
+        let store_ref: &ParamStore = store;
+        par_for_each_mut(&mut slots[..n_tasks], |_, slot| {
+            for job in slot.jobs.iter_mut() {
+                let batch = Batch::from_samples(&job.refs, schema);
+                let g = &mut slot.graph;
+                g.reset(store_ref);
+                let bindings: Vec<(DenseId, Var)> = dense_ids
+                    .iter()
+                    .map(|&id| (id, g.param(store_ref, id)))
+                    .collect();
+                let mut opts = ForwardOpts {
+                    training: true,
+                    rng: &mut job.rng,
+                };
+                let mut loss = if ctr_loss {
+                    let logits = model.forward(g, store_ref, &batch, &mut opts);
+                    let labels = Tensor::from_vec(batch.size, 1, batch.labels.clone());
+                    let mut l = g.tape.bce_with_logits_mean(logits, labels);
+                    if let Some(extra) = model.extra_loss(g, store_ref, &batch, &mut opts) {
+                        let w = g.tape.scale(extra, extra_loss_weight);
+                        l = g.tape.add(l, w);
+                    }
+                    Some(l)
+                } else {
+                    None
+                };
+                if let Some(method) = ssl {
+                    if let Some(aux) =
+                        method.ssl_loss(g, store_ref, model.embedding(), &batch, opts.rng)
+                    {
+                        loss = Some(match loss {
+                            Some(l) => g.tape.add(l, aux),
+                            None => aux,
+                        });
+                    }
+                }
+                let out = loss.map(|l| {
+                    // rows/batch weighting: the micro losses sum to the
+                    // minibatch mean the serial loop used to compute.
+                    let scaled = g.tape.scale(l, batch.size as f32 / mb_rows as f32);
+                    let value = g.tape.value(scaled).item() as f64;
+                    let grads = g.tape.backward(scaled);
+                    MicroOut {
+                        loss: value,
+                        grads,
+                        bindings,
+                    }
                 });
+                slot.outs.push(out);
+            }
+        });
+
+        // Ordered reduction: fold the micro gradients in micro index order
+        // (tasks hold consecutive micros, so slot order is micro order).
+        let mut merged: Option<(Grads, Vec<(DenseId, Var)>)> = None;
+        let mut batch_loss = 0.0f64;
+        for slot in slots[..n_tasks].iter_mut() {
+            for out in slot.outs.drain(..) {
+                let Some(out) = out else { continue };
+                batch_loss += out.loss;
+                match &mut merged {
+                    None => merged = Some((out.grads, out.bindings)),
+                    Some((acc, base)) => {
+                        let pairs: Vec<(Var, Var)> = base
+                            .iter()
+                            .zip(&out.bindings)
+                            .map(|(&(ia, va), &(ib, vb))| {
+                                assert_eq!(ia, ib, "micro-batches disagree on binding order");
+                                (va, vb)
+                            })
+                            .collect();
+                        acc.merge_ordered(out.grads, &pairs);
+                    }
+                }
             }
         }
-        let Some(loss) = loss else { continue };
-        total += g.tape.value(loss).item() as f64;
-        batches += 1;
-        let grads = g.tape.backward(loss);
-        adam.step(store, &g, grads);
+        if let Some((grads, bindings)) = merged {
+            adam.step_with_bindings(store, &bindings, grads);
+            total += batch_loss;
+            batches += 1;
+        }
+        pos = end;
     }
     if batches == 0 {
         0.0

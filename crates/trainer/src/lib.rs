@@ -7,5 +7,8 @@ mod fit;
 mod registry;
 
 pub use evaluate::{evaluate, evaluate_gauc, EvalResult};
-pub use fit::{fit, fit_pretrain, grid_search, train_epoch, FitOutcome, GridPoint, TrainConfig};
+pub use fit::{
+    fit, fit_pretrain, grid_search, micro_batch_len, train_epoch, FitOutcome, GridPoint,
+    TrainConfig, MIN_MICRO_ROWS, TRAIN_MICRO_CHUNKS,
+};
 pub use registry::{BaseModel, Experiment, SslKind, ALL_BASELINES};

@@ -5,9 +5,9 @@
 
 use miss_core::{Miss, MissConfig};
 use miss_data::{BatchIter, Dataset, WorldConfig};
-use miss_models::{CtrModel, Din, ModelConfig};
+use miss_models::{CtrModel, Dien, Din, ModelConfig};
 use miss_nn::{Adam, ParamStore};
-use miss_trainer::{evaluate, evaluate_gauc, fit, train_epoch, TrainConfig};
+use miss_trainer::{evaluate, evaluate_gauc, fit, micro_batch_len, train_epoch, TrainConfig};
 use miss_util::Rng;
 
 fn quick_cfg(seed: u64) -> TrainConfig {
@@ -120,6 +120,126 @@ fn evaluate_batch_size_does_not_change_scores() {
     let b = evaluate(&model, &store, &dataset.test, &dataset.schema, 17);
     assert!((a.auc - b.auc).abs() < 1e-9, "{} vs {}", a.auc, b.auc);
     assert!((a.logloss - b.logloss).abs() < 1e-6);
+}
+
+/// The model families whose training paths differ structurally: plain DIN,
+/// DIEN (auxiliary loss + per-graph forward state), and DIN with the MISS
+/// SSL plug-in (rng-dependent tape structure).
+#[derive(Clone, Copy)]
+enum Family {
+    Din,
+    Dien,
+    DinMiss,
+}
+
+/// Run a full 3-epoch `fit()` under the given thread count and task
+/// grouping and return the bitwise fingerprint of every final weight plus
+/// the outcome metrics' raw bits.
+fn train_fingerprint(family: Family, threads: usize, micros_per_task: usize) -> (u64, u64, u64) {
+    let dataset = Dataset::generate(WorldConfig::tiny(), 21);
+    let mut store = ParamStore::new();
+    let mut rng = Rng::new(4);
+    let mut cfg = quick_cfg(4);
+    cfg.micro_batches_per_task = micros_per_task;
+    miss_parallel::with_threads(threads, || {
+        let out = match family {
+            Family::Din => {
+                let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+                fit(&model, None, &mut store, &dataset, &cfg)
+            }
+            Family::Dien => {
+                let model =
+                    Dien::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+                fit(&model, None, &mut store, &dataset, &cfg)
+            }
+            Family::DinMiss => {
+                let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+                let miss =
+                    Miss::new(&mut store, model.embedding(), MissConfig::default(), &mut rng);
+                fit(&model, Some(&miss), &mut store, &dataset, &cfg)
+            }
+        };
+        (
+            store.params_fingerprint(),
+            out.test.auc.to_bits(),
+            out.test.logloss.to_bits(),
+        )
+    })
+}
+
+#[test]
+fn trained_weights_bit_identical_across_thread_counts() {
+    // The tentpole contract: micro-batch boundaries, per-micro RNG streams,
+    // and the gradient reduction order are all thread-count independent, so
+    // the fitted weights must match to the last bit.
+    for family in [Family::Din, Family::Dien, Family::DinMiss] {
+        let serial = train_fingerprint(family, 1, 1);
+        for threads in [2, 4] {
+            assert_eq!(
+                serial,
+                train_fingerprint(family, threads, 1),
+                "fit() weights differ at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn trained_weights_invariant_to_task_grouping() {
+    // micro_batches_per_task only changes how micro-batches are packed into
+    // pool tasks (1 micro per task vs all micros in one task); the reduction
+    // is per-micro in index order either way, so weights must be identical.
+    for family in [Family::Din, Family::DinMiss] {
+        let one_per_task = train_fingerprint(family, 4, 1);
+        let single_task = train_fingerprint(family, 4, 1024);
+        assert_eq!(
+            one_per_task, single_task,
+            "task grouping changed the fitted weights"
+        );
+        let pairs = train_fingerprint(family, 2, 2);
+        assert_eq!(one_per_task, pairs, "grouping micros in pairs changed the weights");
+    }
+}
+
+#[test]
+fn train_epoch_loss_bit_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 33);
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(11);
+        let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+        let cfg = quick_cfg(11);
+        let mut adam = Adam::new(cfg.lr, cfg.l2);
+        let mut epoch_rng = Rng::new(cfg.seed);
+        miss_parallel::with_threads(threads, || {
+            let loss = train_epoch(
+                &model,
+                None,
+                &mut store,
+                &mut adam,
+                &dataset,
+                &cfg,
+                &mut epoch_rng,
+                true,
+            );
+            (loss.to_bits(), store.params_fingerprint())
+        })
+    };
+    let serial = run(1);
+    for threads in [2, 4] {
+        assert_eq!(serial, run(threads), "train_epoch differs at {threads} threads");
+    }
+}
+
+#[test]
+fn micro_batch_len_is_a_pure_function_of_batch_size() {
+    let a = miss_parallel::with_threads(1, || micro_batch_len(128));
+    let b = miss_parallel::with_threads(8, || micro_batch_len(128));
+    assert_eq!(a, b);
+    assert_eq!(micro_batch_len(128), 16, "paper batch 128 -> 8 micros of 16");
+    assert_eq!(micro_batch_len(64), 16, "batch 64 -> 4 micros of 16");
+    assert_eq!(micro_batch_len(7), 16, "small batches stay one micro");
+    assert_eq!(micro_batch_len(1024), 128);
 }
 
 #[test]

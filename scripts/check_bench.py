@@ -1,15 +1,25 @@
 #!/usr/bin/env python3
-"""Bench regression gate: compare a fresh BENCH_kernels.json against the
+"""Bench regression gate: compare a fresh BENCH_<group>.json against the
 committed bench_baseline.json and fail when any shared case's median
 regresses by more than the tolerance (default 25%).
 
+The baseline may be a single-group document (`{"group": ..., "cases":
+[...]}`) or a multi-group one (`{"groups": [<single-group doc>, ...]}`);
+case names are unique across groups, so both flatten to one name->median
+map. A fresh file is always a single group, so gating it against the full
+baseline only compares the cases that group produced — cases from *other*
+groups print as retired-case notes, which never fail the gate.
+
 Medians on a busy CI box are noisy; the tolerance is deliberately loose so
-the gate catches real kernel regressions (a lost tiling path, an accidental
+the gate catches real regressions (a lost tiling path, an accidental
 serial fallback) rather than scheduler jitter. New cases (present in the
 fresh run only) and retired cases (baseline only) are reported but never
-fail the gate.
+fail the gate. `--require <case>` makes a named case's *presence* in the
+fresh run mandatory (e.g. the parallel training case), independent of its
+timing.
 
 Usage: scripts/check_bench.py <fresh.json> <baseline.json> [tolerance]
+                              [--require <case>]...
 """
 
 import json
@@ -19,17 +29,36 @@ import sys
 def medians(path):
     with open(path) as f:
         doc = json.load(f)
-    return {c["name"]: c["median_ns"] for c in doc["cases"]}
+    groups = doc["groups"] if "groups" in doc else [doc]
+    out = {}
+    for g in groups:
+        for c in g["cases"]:
+            out[c["name"]] = c["median_ns"]
+    return out
 
 
 def main():
-    if len(sys.argv) < 3:
+    args = sys.argv[1:]
+    required = []
+    while "--require" in args:
+        i = args.index("--require")
+        if i + 1 >= len(args):
+            sys.exit("--require needs a case name")
+        required.append(args[i + 1])
+        del args[i : i + 2]
+    if len(args) < 2:
         sys.exit(__doc__)
-    fresh_path, base_path = sys.argv[1], sys.argv[2]
-    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+    fresh_path, base_path = args[0], args[1]
+    tolerance = float(args[2]) if len(args) > 2 else 0.25
 
     fresh = medians(fresh_path)
     base = medians(base_path)
+
+    missing_required = [name for name in required if name not in fresh]
+    if missing_required:
+        for name in missing_required:
+            print(f"ERROR: required case `{name}` missing from {fresh_path}", file=sys.stderr)
+        sys.exit(1)
 
     failures = []
     for name in sorted(base):

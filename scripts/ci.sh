@@ -29,11 +29,23 @@ MISS_THREADS=1 cargo test -q
 echo "==> tier-1: cargo test -q (default MISS_THREADS)"
 cargo test -q
 
+# The trainer's determinism suite is the contract the parallel training and
+# eval paths must keep: bitwise-identical weights/metrics across thread
+# counts and micro-batch task groupings. It already ran inside each full
+# `cargo test` above; the explicit runs make a schedule-dependent training
+# bug fail *here*, with the suite named in the log, under both the pinned
+# and the default thread count.
+echo "==> determinism suite: trainer (MISS_THREADS=1)"
+MISS_THREADS=1 cargo test -q -p miss-trainer --test determinism
+
+echo "==> determinism suite: trainer (default MISS_THREADS)"
+cargo test -q -p miss-trainer --test determinism
+
 echo "==> benches: cargo bench"
 cargo bench -q
 
 missing=0
-for f in BENCH_kernels.json BENCH_training_step.json BENCH_data_pipeline.json; do
+for f in BENCH_kernels.json BENCH_training_step.json BENCH_training.json BENCH_data_pipeline.json; do
     if [[ ! -s "$f" ]]; then
         echo "ERROR: bench harness did not produce $f" >&2
         missing=1
@@ -44,4 +56,8 @@ done
 echo "==> bench gate: kernels medians vs bench_baseline.json"
 python3 scripts/check_bench.py BENCH_kernels.json bench_baseline.json 0.25
 
-echo "==> OK: build, tests (both thread modes), benches and bench gate green offline"
+echo "==> bench gate: training medians vs bench_baseline.json"
+python3 scripts/check_bench.py BENCH_training.json bench_baseline.json 0.25 \
+    --require train_epoch_parallel
+
+echo "==> OK: build, tests (both thread modes), determinism suite, benches and bench gates green offline"
