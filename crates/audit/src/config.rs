@@ -1,0 +1,356 @@
+//! Hand-parsed `audit.toml` — the checked-in rule/allowlist config.
+//!
+//! Supported grammar (a deliberately tiny TOML subset, no serde):
+//!
+//! ```toml
+//! # comment
+//! [rule.some-rule]               # per-rule configuration section
+//! some_key = ["a", "b"]          # string arrays (may span lines)
+//! other = "one string"
+//! flag = true
+//!
+//! [[allow]]                      # one line-level exemption
+//! rule = "deny-todo-unwrap"
+//! path = "crates/nn/src/optim.rs"
+//! contains = "optional line substring"
+//! reason = "required: why this site is exempt"
+//! ```
+//!
+//! Every `[[allow]]` entry **must** carry a non-empty `reason`: the
+//! exemption process is "explain it or fix it", enforced here rather than
+//! by review convention.
+
+use std::collections::BTreeMap;
+
+/// One `[[allow]]` exemption.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id the exemption applies to.
+    pub rule: String,
+    /// Repo-relative path; a trailing `/` makes it a directory prefix.
+    pub path: String,
+    /// When present, only lines containing this substring are exempt;
+    /// when absent the whole file is exempt for `rule`.
+    pub contains: Option<String>,
+    /// Mandatory human justification.
+    pub reason: String,
+}
+
+/// Parsed configuration: rule sections (string-list values) + allowlist.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// `[[allow]]` entries in file order.
+    pub allows: Vec<AllowEntry>,
+    /// `[rule.<name>]` sections: rule → key → values (scalars are
+    /// single-element lists).
+    pub rules: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+}
+
+impl Config {
+    /// The string list stored at `[rule.<rule>] <key>`, empty if absent.
+    pub fn rule_list(&self, rule: &str, key: &str) -> &[String] {
+        self.rules
+            .get(rule)
+            .and_then(|m| m.get(key))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// True when `path` matches an entry of `[rule.<rule>] <key>` (exact
+    /// file, or directory prefix for entries ending in `/`).
+    pub fn rule_list_matches(&self, rule: &str, key: &str, path: &str) -> bool {
+        self.rule_list(rule, key).iter().any(|e| path_matches(path, e))
+    }
+
+    /// True when `(rule, path, line_text)` is covered by an `[[allow]]`
+    /// entry.
+    pub fn is_allowed(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule
+                && path_matches(path, &a.path)
+                && a.contains.as_deref().is_none_or(|c| line_text.contains(c))
+        })
+    }
+}
+
+/// Exact-file match, or directory-prefix match for patterns ending in `/`.
+pub fn path_matches(path: &str, pattern: &str) -> bool {
+    if let Some(dir) = pattern.strip_suffix('/') {
+        path.starts_with(dir) && path[dir.len()..].starts_with('/')
+    } else {
+        path == pattern
+    }
+}
+
+/// Strip a `#` comment from a line, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escape = false;
+    for (idx, c) in line.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse one quoted string starting at `s[0] == '"'`; returns the decoded
+/// value and the rest of the input.
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err(format!("expected string at: {s}")),
+    }
+    let mut escape = false;
+    for (idx, c) in chars {
+        if escape {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                other => other, // covers \" and \\
+            });
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' => escape = true,
+            '"' => return Ok((out, &s[idx + c.len_utf8()..])),
+            other => out.push(other),
+        }
+    }
+    Err(format!("unterminated string: {s}"))
+}
+
+/// Parse a value: `"str"`, `true`/`false`, integer, or `[ "a", "b" ]`.
+/// Everything is normalised to a list of strings.
+fn parse_value(s: &str) -> Result<Vec<String>, String> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .trim_end()
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array: {s}"))?;
+        let mut rest = body.trim();
+        let mut out = Vec::new();
+        while !rest.is_empty() {
+            let (v, r) = parse_string(rest)?;
+            out.push(v);
+            rest = r.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            } else if !rest.is_empty() {
+                return Err(format!("expected ',' in array near: {rest}"));
+            }
+        }
+        Ok(out)
+    } else if s.starts_with('"') {
+        let (v, rest) = parse_string(s)?;
+        if !rest.trim().is_empty() {
+            return Err(format!("trailing input after string: {rest}"));
+        }
+        Ok(vec![v])
+    } else if s == "true" || s == "false" || s.parse::<i64>().is_ok() {
+        Ok(vec![s.to_string()])
+    } else {
+        Err(format!("unsupported value: {s}"))
+    }
+}
+
+/// Where a parsed key/value should land.
+enum Section {
+    None,
+    Rule(String),
+    Allow,
+}
+
+/// Parse the full config. Errors carry the offending line number.
+pub fn parse(src: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut section = Section::None;
+    // Pending [[allow]] fields, flushed on section change / EOF.
+    let mut pending: BTreeMap<String, String> = BTreeMap::new();
+
+    fn flush_allow(
+        pending: &mut BTreeMap<String, String>,
+        allows: &mut Vec<AllowEntry>,
+    ) -> Result<(), String> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let rule = pending
+            .remove("rule")
+            .ok_or("[[allow]] entry missing `rule`")?;
+        let path = pending
+            .remove("path")
+            .ok_or("[[allow]] entry missing `path`")?;
+        let contains = pending.remove("contains");
+        let reason = pending
+            .remove("reason")
+            .filter(|r| !r.trim().is_empty())
+            .ok_or_else(|| {
+                format!("[[allow]] for {rule} @ {path}: non-empty `reason` is mandatory")
+            })?;
+        if let Some((k, _)) = pending.iter().next() {
+            return Err(format!("[[allow]] has unknown key `{k}`"));
+        }
+        allows.push(AllowEntry {
+            rule,
+            path,
+            contains,
+            reason,
+        });
+        Ok(())
+    }
+
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((lno, raw)) = lines.next() {
+        let ctx = |e: String| format!("audit.toml:{}: {}", lno + 1, e);
+        let mut l = strip_comment(raw).trim().to_string();
+        if l.is_empty() {
+            continue;
+        }
+        if l == "[[allow]]" {
+            flush_allow(&mut pending, &mut cfg.allows).map_err(ctx)?;
+            section = Section::Allow;
+            continue;
+        }
+        if let Some(name) = l.strip_prefix("[rule.").and_then(|r| r.strip_suffix(']')) {
+            flush_allow(&mut pending, &mut cfg.allows).map_err(ctx)?;
+            section = Section::Rule(name.to_string());
+            cfg.rules.entry(name.to_string()).or_default();
+            continue;
+        }
+        if l.starts_with('[') {
+            return Err(ctx(format!("unknown section header: {l}")));
+        }
+        let eq = l
+            .find('=')
+            .ok_or_else(|| ctx(format!("expected `key = value`, got: {l}")))?;
+        let key = l[..eq].trim().to_string();
+        // Multi-line arrays: keep consuming lines until brackets balance.
+        while bracket_balance(&l) > 0 {
+            let Some((_, next)) = lines.next() else {
+                return Err(ctx(format!("unterminated array for key `{key}`")));
+            };
+            l.push(' ');
+            l.push_str(strip_comment(next).trim());
+        }
+        let values = parse_value(l[eq + 1..].trim()).map_err(ctx)?;
+        match &section {
+            Section::None => return Err(ctx(format!("key `{key}` outside any section"))),
+            Section::Allow => {
+                let v = values.first().cloned().unwrap_or_default();
+                pending.insert(key, v);
+            }
+            Section::Rule(name) => {
+                cfg.rules
+                    .entry(name.clone())
+                    .or_default()
+                    .insert(key, values);
+            }
+        }
+    }
+    flush_allow(&mut pending, &mut cfg.allows)?;
+    Ok(cfg)
+}
+
+/// Net `[` vs `]` count outside strings, for multi-line array detection.
+fn bracket_balance(l: &str) -> i32 {
+    let mut bal = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in l.chars() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => bal += 1,
+            ']' if !in_str => bal -= 1,
+            _ => {}
+        }
+    }
+    bal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rules_and_allows() {
+        let cfg = parse(
+            r#"
+# a comment
+[rule.no-hashmap-iter]
+allowed_in = [
+    "crates/models/src/dien.rs",  # keyed lookup only
+    "crates/data/",
+]
+
+[[allow]]
+rule = "deny-todo-unwrap"
+path = "crates/nn/src/optim.rs"
+contains = "row_of.last()"
+reason = "row_of is non-empty by construction"
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.rule_list("no-hashmap-iter", "allowed_in"),
+            &["crates/models/src/dien.rs", "crates/data/"]
+        );
+        assert!(cfg.rule_list_matches(
+            "no-hashmap-iter",
+            "allowed_in",
+            "crates/data/src/world.rs"
+        ));
+        assert!(!cfg.rule_list_matches("no-hashmap-iter", "allowed_in", "crates/datafoo/x.rs"));
+        assert!(cfg.is_allowed(
+            "deny-todo-unwrap",
+            "crates/nn/src/optim.rs",
+            "let base = *row_of.last().unwrap();"
+        ));
+        assert!(!cfg.is_allowed("deny-todo-unwrap", "crates/nn/src/optim.rs", "other line"));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let err = parse(
+            "[[allow]]\nrule = \"r\"\npath = \"p\"\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn escaped_quotes_in_values() {
+        let cfg = parse(
+            "[[allow]]\nrule = \"r\"\npath = \"p\"\ncontains = \"expect(\\\"msg\\\")\"\nreason = \"x\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.allows[0].contains.as_deref(), Some("expect(\"msg\")"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let cfg = parse("[rule.r]\nkeys = [\"a#b\"]\n").unwrap();
+        assert_eq!(cfg.rule_list("r", "keys"), &["a#b"]);
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        assert!(parse("[whatever]\nx = 1\n").is_err());
+    }
+}

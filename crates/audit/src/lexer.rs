@@ -1,0 +1,464 @@
+//! A small hand-rolled Rust lexer, just deep enough for static auditing.
+//!
+//! The rules in this crate must never fire on text inside string literals,
+//! char literals, or comments (a naive grep does), and must be able to see
+//! comments as first-class tokens (the `safety-comments` rule keys off
+//! them). So the lexer produces a flat token stream where:
+//!
+//! * identifiers/keywords, numbers, punctuation are individual tokens,
+//! * every string-ish literal — `"…"`, `r"…"`, `r#"…"#` (any hash depth),
+//!   `b"…"`, `br#"…"#`, `c"…"`, char and byte-char literals — collapses to
+//!   one `Str`/`Char` token whose *content is never re-scanned*,
+//! * line comments, doc comments and (nested) block comments become
+//!   `Comment` tokens carrying their full text,
+//! * lifetimes (`'a`) are distinguished from char literals (`'a'`).
+//!
+//! It does not parse: no precedence, no items, no types. Rules operate on
+//! token adjacency plus the brace matching in [`crate::engine`].
+
+/// Token classification. Granularity is driven by what the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `as`, …).
+    Ident,
+    /// Lifetime (`'a`); kept distinct so `'a` never reads as an open char.
+    Lifetime,
+    /// Integer literal, including its suffix (`3`, `0xff`, `2usize`).
+    Int,
+    /// Float literal (`1.0`, `1e-8`, `2f32`).
+    Float,
+    /// Any string-like literal, raw/byte/c-string included.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Single punctuation character (`.`, `:`, `{`, `#`, …).
+    Punct,
+    /// Line or block comment, full text preserved.
+    Comment,
+}
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lex `src` into a token stream. Never fails: unrecognised bytes become
+/// single-character `Punct` tokens, unterminated literals run to EOF —
+/// an audit must degrade gracefully, not crash on odd input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let text_of = |from: usize, to: usize| -> String { b[from..to].iter().collect() };
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments: // to end of line, /* */ nested.
+        if c == '/' && i + 1 < n && (b[i + 1] == '/' || b[i + 1] == '*') {
+            let start = i;
+            let start_line = line;
+            if b[i + 1] == '/' {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            } else {
+                i += 2;
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                text: text_of(start, i),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // String-literal prefixes: r, b, c, br, cr (then " or #…").
+        if is_ident_start(c) {
+            if let Some((end, newlines)) = scan_prefixed_literal(&b, i) {
+                let kind = if b[i] == 'b' && i + 1 < n && b[i + 1] == '\'' {
+                    TokKind::Char
+                } else {
+                    TokKind::Str
+                };
+                toks.push(Tok {
+                    kind,
+                    text: text_of(i, end),
+                    line,
+                });
+                line += newlines;
+                i = end;
+                continue;
+            }
+            // Plain identifier / keyword.
+            let start = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: text_of(start, i),
+                line,
+            });
+            continue;
+        }
+
+        // Cooked string.
+        if c == '"' {
+            let (end, newlines) = scan_cooked_string(&b, i + 1);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: text_of(i, end),
+                line,
+            });
+            line += newlines;
+            i = end;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char literal: the backslash consumes the next
+                // char (which may itself be a quote, as in '\''), so start
+                // past it; after that the first bare quote closes it.
+                let mut j = i + 3;
+                while j < n && b[j] != '\'' {
+                    if b[j] == '\\' {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = (j + 1).min(n);
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: text_of(i, end),
+                    line,
+                });
+                i = end;
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                // 'x' — any single char, including punctuation like '{'.
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: text_of(i, i + 3),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                // Lifetime: 'a not followed by a closing quote.
+                let start = i;
+                i += 2;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: text_of(start, i),
+                    line,
+                });
+                continue;
+            }
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: "'".to_string(),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'o' | 'b') {
+                i += 2;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fraction: a dot followed by a digit (so `1..n` ranges and
+                // `1.max(2)` method calls stay integers).
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                } else if i < n
+                    && b[i] == '.'
+                    && (i + 1 == n || !(b[i + 1] == '.' || is_ident_start(b[i + 1])))
+                {
+                    // Trailing-dot float like `1.`.
+                    is_float = true;
+                    i += 1;
+                }
+                // Exponent.
+                if i < n && (b[i] == 'e' || b[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (b[j] == '+' || b[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && b[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Suffix (`f32`, `usize`, …).
+                let suffix_start = i;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let suffix: String = b[suffix_start..i].iter().collect();
+                if suffix == "f32" || suffix == "f64" {
+                    is_float = true;
+                }
+            }
+            toks.push(Tok {
+                kind: if is_float { TokKind::Float } else { TokKind::Int },
+                text: text_of(start, i),
+                line,
+            });
+            continue;
+        }
+
+        // Everything else: single-char punctuation.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Try to scan a prefixed literal (`r"`, `r#"`, `b"`, `br#"`, `b'`, `c"`,
+/// `cr#"`) starting at `i`. Returns `(end_index, newline_count)`.
+fn scan_prefixed_literal(b: &[char], i: usize) -> Option<(usize, u32)> {
+    let n = b.len();
+    // Longest valid prefixes are two chars (br, cr).
+    let (prefix_len, raw) = match b[i] {
+        'r' => (1, true),
+        'b' | 'c' => {
+            if i + 1 < n && b[i + 1] == 'r' {
+                (2, true)
+            } else {
+                (1, false)
+            }
+        }
+        _ => return None,
+    };
+    let mut j = i + prefix_len;
+    if raw {
+        let mut hashes = 0usize;
+        while j < n && b[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || b[j] != '"' {
+            return None;
+        }
+        j += 1;
+        let mut newlines = 0u32;
+        while j < n {
+            if b[j] == '\n' {
+                newlines += 1;
+                j += 1;
+                continue;
+            }
+            if b[j] == '"' {
+                let close_end = j + 1 + hashes;
+                if close_end <= n && b[j + 1..close_end].iter().all(|&h| h == '#') {
+                    return Some((close_end, newlines));
+                }
+            }
+            j += 1;
+        }
+        Some((n, newlines))
+    } else {
+        match b.get(j) {
+            Some('"') => {
+                let (end, newlines) = scan_cooked_string(b, j + 1);
+                Some((end, newlines))
+            }
+            Some('\'') if b[i] == 'b' => {
+                // Byte char literal b'x' / b'\n'.
+                let mut k = j + 1;
+                while k < n && b[k] != '\'' {
+                    if b[k] == '\\' {
+                        k += 2;
+                    } else {
+                        k += 1;
+                    }
+                }
+                Some(((k + 1).min(n), 0))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Scan a cooked (escape-processing) string body starting just past the
+/// opening quote; returns `(index_past_closing_quote, newline_count)`.
+fn scan_cooked_string(b: &[char], mut j: usize) -> (usize, u32) {
+    let n = b.len();
+    let mut newlines = 0u32;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            '"' => return (j + 1, newlines),
+            _ => j += 1,
+        }
+    }
+    (n, newlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("let x = a.unwrap();");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[3], (TokKind::Ident, "a".into()));
+        assert_eq!(t[4], (TokKind::Punct, ".".into()));
+        assert_eq!(t[5], (TokKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn string_content_is_opaque() {
+        let t = kinds(r#"let s = "calls unwrap() and HashMap";"#);
+        assert!(t.iter().all(|(k, x)| *k != TokKind::Ident || x != "unwrap"));
+        assert!(t.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"unsafe { \"quoted\" }\"#; after";
+        let t = kinds(src);
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Str && x.contains("unsafe")));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Ident && x == "after"));
+        assert!(!t.iter().any(|(k, x)| *k == TokKind::Ident && x == "unsafe"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_hide_code() {
+        let t = kinds("/* outer /* HashMap */ still comment */ real");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].0, TokKind::Comment);
+        assert_eq!(t[1], (TokKind::Ident, "real".into()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let t = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let q = '\\''; }");
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Lifetime && x == "'a"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Char && x == "'z'"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Char && x == "'\\''"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let t = kinds("a[0..3] + 1.5 + 2e-3 + 7f32 + 4usize + 0xff");
+        let floats: Vec<_> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, x)| x.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "2e-3", "7f32"]);
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Int && x == "0xff"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Int && x == "0")); // range start
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"str\nacross\" c";
+        let toks = lex(src);
+        let find = |s: &str| toks.iter().find(|t| t.text == s).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(5));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let t = kinds(r##"let a = b"unwrap()"; let b2 = br#"HashMap"#; let c = b'x';"##);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Char && x == "b'x'"));
+        assert!(!t.iter().any(|(k, x)| *k == TokKind::Ident && x == "HashMap"));
+    }
+}

@@ -1,0 +1,176 @@
+//! miss-audit — an in-tree static-analysis gate for the workspace's
+//! determinism and unsafety invariants.
+//!
+//! PRs 2–3 made the whole stack rest on invariants no compiler pass checks:
+//! bitwise determinism across `MISS_THREADS` forbids iterating hash
+//! containers, reading wall-clock time, or spawning threads outside
+//! `miss-parallel`; the AVX2 GEMM kernels rest on `unsafe` preconditions
+//! that must stay documented. The dynamic test suite only catches
+//! violations that happen to fire under today's schedules — this crate
+//! catches the whole *class* at review time, offline, with zero external
+//! dependencies.
+//!
+//! Pipeline: [`lexer`] turns each `.rs` file into a token stream (strings,
+//! char literals and comments handled correctly — this is not a grep);
+//! [`rules`] runs the six invariant checks; [`config`] supplies per-rule,
+//! per-path allowlists from the checked-in `audit.toml`. The binary
+//! (`cargo run -p miss-audit`) emits `file:line:rule` diagnostics with the
+//! offending source line and exits non-zero on any violation; it is the
+//! first gate in `scripts/ci.sh`. See DESIGN.md §7 for the rule-by-rule
+//! rationale and the exemption process.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::Config;
+use rules::{FileCtx, Violation};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A filtered, printable finding: a [`Violation`] plus its source line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule id.
+    pub rule: &'static str,
+    /// Explanation.
+    pub msg: String,
+    /// The offending source line, trimmed.
+    pub source: String,
+}
+
+impl Finding {
+    /// Render as `file:line:rule: message` plus the source line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}\n    | {}",
+            self.path, self.line, self.rule, self.msg, self.source
+        )
+    }
+
+    /// A ready-to-paste `[[allow]]` block for this finding.
+    pub fn allow_block(&self) -> String {
+        let escaped = self.source.replace('\\', "\\\\").replace('"', "\\\"");
+        format!(
+            "[[allow]]\nrule = \"{}\"\npath = \"{}\"\ncontains = \"{}\"\nreason = \"TODO: justify this exemption\"\n",
+            self.rule, self.path, escaped
+        )
+    }
+}
+
+/// Audit one source file (given as text). Returns allowlist-filtered
+/// findings. `path` must be repo-relative with `/` separators — rules and
+/// allowlists match against it.
+pub fn audit_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let toks = lexer::lex(source);
+    let ctx = FileCtx::new(path, &toks);
+    let mut raw: Vec<Violation> = Vec::new();
+    rules::run_all(&ctx, cfg, &mut raw);
+    let lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+    for v in raw {
+        let src_line = lines
+            .get((v.line as usize).saturating_sub(1))
+            .map(|l| l.trim())
+            .unwrap_or("")
+            .to_string();
+        if cfg.is_allowed(v.rule, &v.path, &src_line) {
+            continue;
+        }
+        out.push(Finding {
+            path: v.path,
+            line: v.line,
+            rule: v.rule,
+            msg: v.msg,
+            source: src_line,
+        });
+    }
+    out
+}
+
+/// Recursively collect the workspace's `.rs` files, sorted by path so the
+/// audit's output order is itself deterministic. Skips `target/`, VCS dirs
+/// and everything hidden.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') {
+                continue;
+            }
+            if path.is_dir() {
+                if name == "target" || name == "node_modules" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Audit every `.rs` file under `root`. Returns `(files_scanned, findings)`
+/// with findings sorted by `(path, line, rule)`.
+pub fn audit_root(root: &Path, cfg: &Config) -> io::Result<(usize, Vec<Finding>)> {
+    let files = collect_rs_files(root)?;
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(file)?;
+        findings.extend(audit_source(&rel, &source, cfg));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    Ok((files.len(), findings))
+}
+
+/// Load and parse `audit.toml` from `root`.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("audit.toml");
+    let src = fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    config::parse(&src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_workspace_is_clean() {
+        // The audit is part of `cargo test`: a violation anywhere in the
+        // tree fails this test with the same diagnostics the CI gate prints.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let cfg = load_config(root).expect("audit.toml parses");
+        let (n_files, findings) = audit_root(root, &cfg).expect("workspace scan");
+        assert!(n_files > 50, "scan found only {n_files} files — wrong root?");
+        let rendered: Vec<String> = findings.iter().map(Finding::render).collect();
+        assert!(
+            findings.is_empty(),
+            "miss-audit found {} violation(s):\n{}",
+            findings.len(),
+            rendered.join("\n")
+        );
+    }
+}

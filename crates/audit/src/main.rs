@@ -1,0 +1,99 @@
+//! CLI for the miss-audit static-analysis gate.
+//!
+//! ```text
+//! cargo run -p miss-audit                   # audit the workspace
+//! cargo run -p miss-audit -- --fix-allowlist  # also print paste-ready
+//!                                             # [[allow]] blocks
+//! cargo run -p miss-audit -- --root <dir>   # explicit workspace root
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        if dir.join("audit.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut fix_allowlist = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fix-allowlist" => fix_allowlist = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("miss-audit: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("miss-audit: unknown argument `{other}`");
+                eprintln!("usage: miss-audit [--fix-allowlist] [--root <dir>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(find_root)
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("miss-audit: no audit.toml found walking up from the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cfg = match miss_audit::load_config(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("miss-audit: config error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (n_files, findings) = match miss_audit::audit_root(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("miss-audit: scan error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if findings.is_empty() {
+        println!(
+            "miss-audit: OK — {n_files} files clean ({} allowlist entries in force)",
+            cfg.allows.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for f in &findings {
+        eprintln!("{}", f.render());
+    }
+    eprintln!("miss-audit: {} violation(s) in {n_files} files", findings.len());
+    if fix_allowlist {
+        println!("\n# --fix-allowlist: paste into audit.toml and replace each TODO");
+        println!("# with a real justification (empty reasons are rejected).\n");
+        for f in &findings {
+            println!("{}", f.allow_block());
+        }
+    } else {
+        eprintln!("hint: rerun with --fix-allowlist to print paste-ready [[allow]] blocks");
+    }
+    ExitCode::FAILURE
+}

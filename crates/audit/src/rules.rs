@@ -1,0 +1,496 @@
+//! The audit rules (R1–R6) and the per-file context they run against.
+//!
+//! Each rule is a pure function over one file's token stream; discovery,
+//! allowlist filtering and diagnostics live in `lib.rs`. Rules report
+//! *candidate* violations; the engine drops any covered by an `[[allow]]`
+//! entry in `audit.toml`.
+//!
+//! | id                       | invariant                                            |
+//! |--------------------------|------------------------------------------------------|
+//! | `no-hashmap-iter`        | hash containers only in allowlisted files            |
+//! | `no-wallclock-or-entropy`| no `Instant`/`SystemTime`/`RandomState`/`thread_rng` |
+//! | `no-raw-threads`         | `thread::spawn`/`scope` only in `crates/parallel`    |
+//! | `safety-comments`        | `unsafe` only in allowlisted files, each site with a |
+//! |                          | directly preceding `// SAFETY:` comment              |
+//! | `no-float-env`           | no `as f32/f64` casts or raw float-literal `==`/`!=` |
+//! |                          | in the ordered-reduction files                       |
+//! | `deny-todo-unwrap`       | no `.unwrap()`/`.expect(`/`todo!` in hot-path crates |
+
+use crate::config::Config;
+use crate::lexer::{Tok, TokKind};
+
+/// One candidate violation, before allowlist filtering.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule id (kebab-case, stable — allowlists key off it).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+/// Everything the rules need to know about one file.
+pub struct FileCtx<'a> {
+    /// Repo-relative path with `/` separators.
+    pub path: &'a str,
+    /// Full token stream, comments included.
+    pub toks: &'a [Tok],
+    /// Indices into `toks` of non-comment tokens (what most rules scan).
+    pub code: Vec<usize>,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(u32, u32)>,
+    /// True for files under a `tests/`, `benches/` or `examples/` directory.
+    pub is_test_file: bool,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Build the context: code-token index, test regions, test-file flag.
+    pub fn new(path: &'a str, toks: &'a [Tok]) -> Self {
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != TokKind::Comment)
+            .map(|(i, _)| i)
+            .collect();
+        let test_regions = find_test_regions(toks, &code);
+        let is_test_file = path
+            .split('/')
+            .any(|c| c == "tests" || c == "benches" || c == "examples");
+        FileCtx {
+            path,
+            toks,
+            code,
+            test_regions,
+            is_test_file,
+        }
+    }
+
+    /// True when `line` falls inside test-gated code (or a test file).
+    pub fn in_test(&self, line: u32) -> bool {
+        self.is_test_file
+            || self
+                .test_regions
+                .iter()
+                .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// The code token at code-index `ci`, if any.
+    fn ct(&self, ci: usize) -> Option<&Tok> {
+        self.code.get(ci).map(|&i| &self.toks[i])
+    }
+}
+
+/// Locate `#[cfg(test)]` / `#[test]` items and return their line extents.
+///
+/// Recognises an attribute whose identifier set contains `test` (but not
+/// `not`, so `#[cfg(not(test))]` stays production code), skips any further
+/// attributes, then swallows the next item: to the matching `}` of its
+/// first top-level brace, or to `;` for braceless items.
+fn find_test_regions(toks: &[Tok], code: &[usize]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let tok = |ci: usize| -> &Tok { &toks[code[ci]] };
+    let mut ci = 0usize;
+    while ci + 1 < code.len() {
+        if !(tok(ci).is_punct('#') && tok(ci + 1).is_punct('[')) {
+            ci += 1;
+            continue;
+        }
+        let start_line = tok(ci).line;
+        // Scan the attribute group, collecting identifiers.
+        let mut depth = 0usize;
+        let mut j = ci + 1;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < code.len() {
+            let t = tok(j);
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokKind::Ident {
+                idents.push(&t.text);
+            }
+            j += 1;
+        }
+        let is_test_attr = idents.iter().any(|&s| s == "test")
+            && !idents.iter().any(|&s| s == "not")
+            && matches!(idents.first(), Some(&"cfg") | Some(&"test"));
+        if !is_test_attr {
+            ci += 1;
+            continue;
+        }
+        // Skip subsequent attributes (`#[...]` runs) before the item.
+        let mut k = j + 1;
+        while k + 1 < code.len() && tok(k).is_punct('#') && tok(k + 1).is_punct('[') {
+            let mut d = 0usize;
+            k += 1;
+            while k < code.len() {
+                if tok(k).is_punct('[') {
+                    d += 1;
+                } else if tok(k).is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // Swallow the item: first `{` at paren/bracket depth 0, then match.
+        let mut pd = 0i32;
+        let mut end_line = start_line;
+        while k < code.len() {
+            let t = tok(k);
+            if t.is_punct('(') || t.is_punct('[') {
+                pd += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                pd -= 1;
+            } else if t.is_punct(';') && pd == 0 {
+                end_line = t.line;
+                break;
+            } else if t.is_punct('{') && pd == 0 {
+                let mut bd = 0usize;
+                while k < code.len() {
+                    if tok(k).is_punct('{') {
+                        bd += 1;
+                    } else if tok(k).is_punct('}') {
+                        bd -= 1;
+                        if bd == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                end_line = tok(k.min(code.len() - 1)).line;
+                break;
+            }
+            k += 1;
+        }
+        regions.push((start_line, end_line));
+        // Continue scanning *after* the region so nested attrs are covered.
+        while ci < code.len() && tok(ci).line <= end_line {
+            ci += 1;
+        }
+    }
+    regions
+}
+
+/// R1: hash containers (`HashMap`/`HashSet`) are banned outside allowlisted
+/// files — their iteration order is per-process random (`RandomState`), so
+/// any iterated map can leak schedule-independent nondeterminism into
+/// numerics. Test code is exempt; allowlisted files must be lookup-only.
+pub fn no_hashmap_iter(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+    const RULE: &str = "no-hashmap-iter";
+    if cfg.rule_list_matches(RULE, "allowed_in", ctx.path) {
+        return;
+    }
+    for &i in &ctx.code {
+        let t = &ctx.toks[i];
+        if t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !ctx.in_test(t.line)
+        {
+            out.push(Violation {
+                path: ctx.path.to_string(),
+                line: t.line,
+                rule: RULE,
+                msg: format!(
+                    "`{}` outside allowlisted files: hash iteration order is \
+                     per-process random; use BTreeMap/sorted Vec or add a \
+                     lookup-only exemption in audit.toml",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// R2: wall-clock and entropy sources are banned everywhere except the
+/// bench timer — bitwise determinism across `MISS_THREADS` forbids reading
+/// time or OS randomness anywhere results can observe. Applies to test code
+/// too (a flaky test is a broken determinism contract).
+pub fn no_wallclock_or_entropy(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+    const RULE: &str = "no-wallclock-or-entropy";
+    const BANNED: &[&str] = &[
+        "Instant",
+        "SystemTime",
+        "UNIX_EPOCH",
+        "RandomState",
+        "thread_rng",
+        "ThreadRng",
+        "OsRng",
+        "getrandom",
+    ];
+    if cfg.rule_list_matches(RULE, "allowed_in", ctx.path) {
+        return;
+    }
+    for &i in &ctx.code {
+        let t = &ctx.toks[i];
+        if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
+            out.push(Violation {
+                path: ctx.path.to_string(),
+                line: t.line,
+                rule: RULE,
+                msg: format!(
+                    "`{}` is a wall-clock/entropy source; only the miss-testkit \
+                     bench timer may read time",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// R3: raw thread spawning (`thread::spawn`/`scope`/`Builder`) only inside
+/// `crates/parallel` — every other thread would run outside the pool's
+/// deterministic chunking and ordered-reduction contract.
+pub fn no_raw_threads(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+    const RULE: &str = "no-raw-threads";
+    if cfg.rule_list_matches(RULE, "allowed_in", ctx.path) {
+        return;
+    }
+    for ci in 0..ctx.code.len().saturating_sub(3) {
+        let (Some(a), Some(b), Some(c), Some(d)) =
+            (ctx.ct(ci), ctx.ct(ci + 1), ctx.ct(ci + 2), ctx.ct(ci + 3))
+        else {
+            break;
+        };
+        if a.is_ident("thread")
+            && b.is_punct(':')
+            && c.is_punct(':')
+            && d.kind == TokKind::Ident
+            && matches!(d.text.as_str(), "spawn" | "scope" | "Builder")
+        {
+            out.push(Violation {
+                path: ctx.path.to_string(),
+                line: a.line,
+                rule: RULE,
+                msg: format!(
+                    "`thread::{}` outside crates/parallel: all parallelism must \
+                     go through the deterministic miss-parallel pool",
+                    d.text
+                ),
+            });
+        }
+    }
+}
+
+/// R4: every `unsafe` site must (a) live in an allowlisted kernel/parallel
+/// file and (b) be immediately preceded by a `// SAFETY:` comment stating
+/// its preconditions. Attribute groups (e.g. `#[target_feature(...)]`) and
+/// same-line statement prefixes (`return unsafe {`) may sit between the
+/// comment and the keyword. Applies everywhere, test code included.
+pub fn safety_comments(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+    const RULE: &str = "safety-comments";
+    for (idx, t) in ctx.toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if !cfg.rule_list_matches(RULE, "unsafe_allowed_in", ctx.path) {
+            out.push(Violation {
+                path: ctx.path.to_string(),
+                line: t.line,
+                rule: RULE,
+                msg: "`unsafe` outside the allowlisted kernel/parallel files".to_string(),
+            });
+        }
+        if !has_preceding_safety(ctx.toks, idx) {
+            out.push(Violation {
+                path: ctx.path.to_string(),
+                line: t.line,
+                rule: RULE,
+                msg: "unsafe site without an immediately preceding `// SAFETY:` comment"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Walk backwards from the `unsafe` token at `idx` looking for a comment
+/// containing `SAFETY:`, skipping (1) code tokens on the same line (the
+/// `return`/`let x =` prefix of the statement) and (2) whole attribute
+/// groups, which may legally sit between the comment and the keyword.
+fn has_preceding_safety(toks: &[Tok], idx: usize) -> bool {
+    let uline = toks[idx].line;
+    let mut j = idx;
+    while j > 0 && toks[j - 1].line == uline && toks[j - 1].kind != TokKind::Comment {
+        j -= 1;
+    }
+    loop {
+        if j == 0 {
+            return false;
+        }
+        let t = &toks[j - 1];
+        match t.kind {
+            TokKind::Comment => {
+                if t.text.contains("SAFETY:") {
+                    return true;
+                }
+                j -= 1; // scan up through a run of comment lines
+            }
+            TokKind::Punct if t.text == "]" => {
+                // Skip one attribute group: `#[ ... ]` or `#![ ... ]`.
+                let mut depth = 1usize;
+                let mut k = j - 1;
+                while k > 0 && depth > 0 {
+                    k -= 1;
+                    if toks[k].is_punct(']') {
+                        depth += 1;
+                    } else if toks[k].is_punct('[') {
+                        depth -= 1;
+                    }
+                }
+                if depth != 0 {
+                    return false;
+                }
+                if k > 0 && toks[k - 1].is_punct('!') {
+                    k -= 1;
+                }
+                if k > 0 && toks[k - 1].is_punct('#') {
+                    j = k - 1;
+                } else {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// R5: inside the ordered-reduction files (`Grads::merge_ordered`, the Adam
+/// sparse merge), `as f32`/`as f64` casts and raw float-literal `==`/`!=`
+/// comparisons are banned — the reduction's bit-exactness argument rests on
+/// every float path being explicit, so value-changing casts and
+/// representation-blind comparisons need a `to_bits` round-trip or an
+/// allowlisted justification.
+pub fn no_float_env(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+    const RULE: &str = "no-float-env";
+    if !cfg.rule_list_matches(RULE, "paths", ctx.path) {
+        return;
+    }
+    let n = ctx.code.len();
+    for ci in 0..n {
+        let Some(t) = ctx.ct(ci) else { break };
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        // `as f32` / `as f64`
+        if t.is_ident("as") {
+            if let Some(nx) = ctx.ct(ci + 1) {
+                if nx.is_ident("f32") || nx.is_ident("f64") {
+                    out.push(Violation {
+                        path: ctx.path.to_string(),
+                        line: t.line,
+                        rule: RULE,
+                        msg: format!(
+                            "`as {}` cast in an ordered-reduction path; rounding \
+                             here must be explicit and allowlisted",
+                            nx.text
+                        ),
+                    });
+                }
+            }
+        }
+        // `== <float>` / `!= <float>` (or float on the left).
+        let second_eq = ctx.ct(ci + 1).map(|t| t.is_punct('=')).unwrap_or(false);
+        if (t.is_punct('=') || t.is_punct('!')) && second_eq {
+            // Exclude `<=`, `>=` (prev token ends the pair differently) and
+            // `===`-like runs (invalid Rust anyway).
+            let prev_breaks = ci > 0
+                && ctx
+                    .ct(ci - 1)
+                    .map(|p| p.is_punct('=') || p.is_punct('<') || p.is_punct('>'))
+                    .unwrap_or(false);
+            if prev_breaks {
+                continue;
+            }
+            let lhs_float = ci > 0
+                && ctx
+                    .ct(ci - 1)
+                    .map(|p| p.kind == TokKind::Float)
+                    .unwrap_or(false);
+            // Allow one unary minus before the literal on the right.
+            let rhs_float = match ctx.ct(ci + 2) {
+                Some(t2) if t2.kind == TokKind::Float => true,
+                Some(t2) if t2.is_punct('-') => ctx
+                    .ct(ci + 3)
+                    .map(|t3| t3.kind == TokKind::Float)
+                    .unwrap_or(false),
+                _ => false,
+            };
+            if lhs_float || rhs_float {
+                out.push(Violation {
+                    path: ctx.path.to_string(),
+                    line: t.line,
+                    rule: RULE,
+                    msg: "raw float-literal comparison in an ordered-reduction path; \
+                          compare via to_bits() or allowlist with justification"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// R6: `.unwrap()` / `.expect(` / `todo!` / `unimplemented!` / `dbg!` are
+/// banned in the hot-path crates' production code — a panic mid-minibatch
+/// poisons the worker pool, and `dbg!` writes to stderr from workers in
+/// nondeterministic order. Named-method false friends (`unwrap_or`,
+/// `unwrap_or_else`) lex as distinct identifiers and are fine.
+pub fn deny_todo_unwrap(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+    const RULE: &str = "deny-todo-unwrap";
+    if !cfg.rule_list_matches(RULE, "paths", ctx.path) {
+        return;
+    }
+    let n = ctx.code.len();
+    for ci in 0..n {
+        let Some(t) = ctx.ct(ci) else { break };
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        if t.is_punct('.') {
+            if let (Some(m), Some(p)) = (ctx.ct(ci + 1), ctx.ct(ci + 2)) {
+                if (m.is_ident("unwrap") || m.is_ident("expect")) && p.is_punct('(') {
+                    out.push(Violation {
+                        path: ctx.path.to_string(),
+                        line: m.line,
+                        rule: RULE,
+                        msg: format!(
+                            "`.{}(` in a hot-path crate: return/propagate the error, \
+                             restructure so the invariant is type-level, or allowlist \
+                             with a reason",
+                            m.text
+                        ),
+                    });
+                }
+            }
+        }
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "todo" | "unimplemented" | "dbg")
+            && ctx.ct(ci + 1).map(|p| p.is_punct('!')).unwrap_or(false)
+        {
+            out.push(Violation {
+                path: ctx.path.to_string(),
+                line: t.line,
+                rule: RULE,
+                msg: format!("`{}!` is banned in hot-path crates", t.text),
+            });
+        }
+    }
+}
+
+/// Run every rule against one file's context.
+pub fn run_all(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+    no_hashmap_iter(ctx, cfg, out);
+    no_wallclock_or_entropy(ctx, cfg, out);
+    no_raw_threads(ctx, cfg, out);
+    safety_comments(ctx, cfg, out);
+    no_float_env(ctx, cfg, out);
+    deny_todo_unwrap(ctx, cfg, out);
+}

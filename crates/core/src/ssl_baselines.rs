@@ -102,7 +102,12 @@ impl SslMethod for RuleSsl {
         let cat_seq = &batch.seq[1];
         let mut dominant = vec![0u32; b];
         for bi in 0..b {
-            let mut counts: std::collections::HashMap<u32, usize> = Default::default();
+            // BTreeMap so the max_by_key scan below runs in key order and
+            // the dominant category stays a pure function of the batch
+            // (hash order is per-process random; keys are unique so the
+            // winner is the same either way, but the audit's
+            // no-hashmap-iter rule bans iterated hash containers outright).
+            let mut counts: std::collections::BTreeMap<u32, usize> = Default::default();
             for p in 0..l {
                 if batch.mask[bi * l + p] > 0.0 {
                     *counts.entry(cat_seq[bi * l + p]).or_default() += 1;

@@ -234,8 +234,11 @@ mod property_tests {
 pub fn gauc(scores: &[f32], labels: &[f32], groups: &[u32]) -> f64 {
     assert_eq!(scores.len(), labels.len());
     assert_eq!(scores.len(), groups.len());
-    use std::collections::HashMap;
-    let mut by_group: HashMap<u32, (Vec<f32>, Vec<f32>)> = HashMap::new();
+    // BTreeMap, not HashMap: the weighted f64 accumulation below runs in
+    // iteration order, and hash order is per-process random (RandomState) —
+    // with a hash map the last bits of GAUC change from run to run.
+    use std::collections::BTreeMap;
+    let mut by_group: BTreeMap<u32, (Vec<f32>, Vec<f32>)> = BTreeMap::new();
     for i in 0..scores.len() {
         let e = by_group.entry(groups[i]).or_default();
         e.0.push(scores[i]);

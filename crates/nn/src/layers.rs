@@ -86,6 +86,7 @@ pub struct Mlp {
     layers: Vec<Linear>,
     hidden_act: Activation,
     final_act: Activation,
+    out_dim: usize,
 }
 
 impl Mlp {
@@ -110,6 +111,7 @@ impl Mlp {
             layers,
             hidden_act,
             final_act,
+            out_dim: d,
         }
     }
 
@@ -148,9 +150,10 @@ impl Mlp {
         h
     }
 
-    /// Output width of the final layer.
+    /// Output width of the final layer (recorded at construction, so no
+    /// panic path in code the trainer's forward passes touch).
     pub fn out_dim(&self) -> usize {
-        self.layers.last().unwrap().out_dim()
+        self.out_dim
     }
 }
 

@@ -107,13 +107,14 @@ impl Adam {
         self.merge_entries.clear();
         let mut row_of = Vec::with_capacity(grads.sparse.len() + 1);
         row_of.push(0u32);
+        let mut base = 0u32;
         for sg in &grads.sparse {
-            let base = *row_of.last().unwrap();
             let t = (sg.table_id as u64) << 32;
             for (r, &idx) in sg.indices.iter().enumerate() {
                 self.merge_entries.push((t | idx as u64, base + r as u32));
             }
-            row_of.push(base + sg.indices.len() as u32);
+            base += sg.indices.len() as u32;
+            row_of.push(base);
         }
         // Arrival rank is unique, so the full key is totally ordered and
         // `sort_unstable` is deterministic (and stable on the packed key).

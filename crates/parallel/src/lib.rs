@@ -85,7 +85,16 @@ pub fn fixed_chunk_len(len: usize, min_chunk: usize) -> usize {
 /// Raw-pointer wrapper so disjoint writes can cross the scope boundary.
 /// Safety argument lives at each use site.
 struct SendPtr<T>(*mut T);
+// SAFETY: SendPtr is a crate-private capability, only ever constructed over
+// an allocation (`slots` in `par_map`, `data` in `par_chunks_mut`) that
+// strictly outlives the `thread::scope` its workers run in; sending the
+// pointer to a scoped worker therefore never outlives the pointee. `T:
+// Send` is enforced by the public APIs' bounds before any SendPtr exists.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: shared (`&SendPtr`) access only hands out the raw pointer value;
+// every dereference happens at a use site whose disjointness argument
+// (each index/chunk claimed by exactly one worker via fetch_add) is given
+// on the unsafe block performing it.
 unsafe impl<T> Sync for SendPtr<T> {}
 impl<T> SendPtr<T> {
     /// Accessor instead of field access so closures capture the wrapper
@@ -138,6 +147,7 @@ pub fn par_map<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
     let ptr = SendPtr(slots.as_mut_ptr());
     run_tasks(n, &|i| {
         let r = f(i);
+        debug_assert!(i < n, "task index out of the pre-sized slot range");
         // SAFETY: every index in 0..n is claimed by exactly one worker
         // (fetch_add), slots outlives the scope, and slot i is written only
         // here — writes are disjoint and joined before slots is read.
@@ -182,6 +192,7 @@ pub fn par_chunks_mut<T: Send>(
     run_tasks(n_chunks, &|ci| {
         let start = ci * chunk_len;
         let end = (start + chunk_len).min(len);
+        debug_assert!(start < len && end <= len, "chunk window out of bounds");
         // SAFETY: chunk ci covers [start, end) ⊂ [0, len); distinct chunk
         // indices give disjoint ranges, each claimed by exactly one worker,
         // and `data` is mutably borrowed for the whole scope.

@@ -30,7 +30,12 @@ pub(crate) const TILE_M: usize = 12;
 
 #[inline(always)]
 fn load<const W: usize>(x: &[f32], off: usize) -> [f32; W] {
-    x[off..off + W].try_into().unwrap()
+    let mut v = [0.0f32; W];
+    // The slice is exactly W long by construction; copy_from_slice keeps
+    // the bounds check but removes the Result-unwrap panic machinery from
+    // the innermost GEMM loop.
+    v.copy_from_slice(&x[off..off + W]);
+    v
 }
 
 #[inline(always)]
@@ -275,18 +280,38 @@ fn gemm_tn_body<const MR: usize, const NRW: usize>(
 // enabled (never FMA), so no mul/add contraction can occur.
 // ---------------------------------------------------------------------------
 
+// SAFETY: `#[target_feature(enable = "avx2")]` is the *only* source of
+// unsafety in these three wrappers — executing them on a CPU without AVX2
+// is undefined behaviour. Precondition: callers must have verified AVX2
+// support at runtime (every call site gates on `has_avx2()`, i.e. cpuid via
+// `is_x86_feature_detected!`). No alignment precondition: the bodies are
+// safe Rust over `&[f32]` slices and LLVM emits unaligned loads. Bounds
+// are the safe dispatchers' debug-asserted contract (`a.len() == m·k`,
+// etc.), re-checked here with `debug_assert!` because this is the unsafe
+// entry point; the generic bodies then do their own slice indexing.
 #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
 #[target_feature(enable = "avx2")]
 unsafe fn gemm_nn_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
     gemm_nn_body::<6, 16>(a, b, c, m, k, n)
 }
 
+// SAFETY: see `gemm_nn_avx2` — sole precondition is runtime-verified AVX2
+// (cpuid-gated at every call site); `b` is stored transposed (`n×k`).
 #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
 #[target_feature(enable = "avx2")]
 unsafe fn gemm_nt_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
     gemm_nt_body::<4, 8>(a, b, c, m, k, n)
 }
 
+// SAFETY: see `gemm_nn_avx2` — sole precondition is runtime-verified AVX2
+// (cpuid-gated at every call site); `c` is the `(i1-i0)×n` output window of
+// the `[i0, i1)` row range, per the row-range contract of `gemm_tn_body`.
 #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
@@ -300,6 +325,10 @@ unsafe fn gemm_tn_avx2(
     m: usize,
     n: usize,
 ) {
+    debug_assert!(i0 <= i1 && i1 <= m);
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), (i1 - i0) * n);
     gemm_tn_body::<4, 16>(a, b, c, i0, i1, k, m, n)
 }
 

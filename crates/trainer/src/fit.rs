@@ -444,7 +444,10 @@ pub fn grid_search(
             best = Some((point.clone(), out));
         }
     }
-    best.expect("at least one grid point")
+    let Some(best) = best else {
+        unreachable!("grid asserted non-empty above")
+    };
+    best
 }
 
 #[cfg(test)]

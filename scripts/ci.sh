@@ -20,6 +20,14 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+# Static analysis runs first: the audit is cheap (~1s), has zero
+# dependencies, and catches whole classes of determinism/unsafety bugs
+# (hash-order iteration, wall-clock reads, undocumented unsafe) that the
+# dynamic suite only catches when today's schedule happens to expose them.
+# See DESIGN.md §7 for the rules and the exemption process.
+echo "==> gate 0: miss-audit static analysis"
+cargo run -p miss-audit --release
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
