@@ -1,0 +1,219 @@
+//! Wire-level primitives: FNV-1a checksums, little-endian scalar encoding,
+//! and a bounds-checked section reader.
+//!
+//! Everything read here comes from an *untrusted* byte buffer, so every read
+//! is checked against the bytes actually present and failures surface as
+//! [`MissError::Corrupt`] naming the section being parsed. In particular a
+//! length prefix is **never** trusted for allocation: strings and tensor
+//! payloads are sliced out of the already-materialised section buffer, so a
+//! corrupt header claiming gigabytes fails with a typed error instead of an
+//! attempted giant allocation (the latent `read_str` bug in the old
+//! `miss-nn::serialize` module).
+
+use miss_util::MissError;
+
+/// FNV-1a over a byte slice — the same construction (offset basis
+/// `0xcbf29ce484222325`, prime `0x100000001b3`) as
+/// `ParamStore::params_fingerprint`, applied to raw bytes. A single flipped
+/// byte always changes the digest: each step is `h = (h ^ b) * prime`, a
+/// bijection of `h` for fixed `b`, so differing intermediate states can
+/// never re-converge under a common suffix.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Append a `u32` little-endian.
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append a run of `f32`s little-endian.
+pub(crate) fn put_f32s(out: &mut Vec<u8>, xs: &[f32]) {
+    out.reserve(xs.len() * 4);
+    for &x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Decode a `u32` from the first 4 bytes of `b` (caller guarantees length).
+pub(crate) fn u32_le(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(a)
+}
+
+/// Decode a `u64` from the first 8 bytes of `b` (caller guarantees length).
+pub(crate) fn u64_le(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
+/// A cursor over one section's payload. All reads are bounds-checked against
+/// the slice; running past the end, an oversized length prefix, or invalid
+/// UTF-8 produce [`MissError::Corrupt`] tagged with the section name.
+pub(crate) struct SectionReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> SectionReader<'a> {
+    pub fn new(buf: &'a [u8], section: &'static str) -> Self {
+        SectionReader { buf, pos: 0, section }
+    }
+
+    fn corrupt(&self, reason: String) -> MissError {
+        MissError::Corrupt {
+            section: self.section,
+            reason,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take the next `n` bytes, or fail with the section's remaining budget
+    /// in the diagnosis.
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], MissError> {
+        if n > self.remaining() {
+            return Err(self.corrupt(format!(
+                "{what} needs {n} bytes but only {} remain at offset {}",
+                self.remaining(),
+                self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u32(&mut self, what: &str) -> Result<u32, MissError> {
+        Ok(u32_le(self.bytes(4, what)?))
+    }
+
+    pub fn u64(&mut self, what: &str) -> Result<u64, MissError> {
+        Ok(u64_le(self.bytes(8, what)?))
+    }
+
+    /// Length-prefixed UTF-8 string. The length prefix is validated against
+    /// the remaining payload *before* any slicing, so a hostile prefix can
+    /// never drive an allocation.
+    pub fn str(&mut self, what: &str) -> Result<&'a str, MissError> {
+        let len = self.u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(self.corrupt(format!(
+                "{what} claims a {len}-byte string but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        let raw = self.bytes(len, what)?;
+        std::str::from_utf8(raw).map_err(|e| self.corrupt(format!("{what} is not UTF-8: {e}")))
+    }
+
+    /// `count` little-endian `f32`s. `count` is untrusted: it is checked
+    /// (overflow-safely) against the remaining payload before decoding.
+    pub fn f32s(&mut self, count: usize, what: &str) -> Result<Vec<f32>, MissError> {
+        let nbytes = count.checked_mul(4).ok_or_else(|| {
+            self.corrupt(format!("{what} element count {count} overflows"))
+        })?;
+        let raw = self.bytes(nbytes, what)?;
+        let mut out = Vec::with_capacity(count);
+        for chunk in raw.chunks_exact(4) {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(chunk);
+            out.push(f32::from_le_bytes(a));
+        }
+        Ok(out)
+    }
+
+    /// The section must be fully consumed; trailing bytes mean the payload
+    /// and its declared layout disagree.
+    pub fn finish(self) -> Result<(), MissError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            let n = self.remaining();
+            Err(self.corrupt(format!("{n} trailing bytes after the last record")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_detects_any_single_byte_flip() {
+        let base: Vec<u8> = (0u8..64).collect();
+        let h = fnv1a(&base);
+        for i in 0..base.len() {
+            let mut flipped = base.clone();
+            flipped[i] ^= 0x40;
+            assert_ne!(fnv1a(&flipped), h, "flip at {i} not detected");
+        }
+    }
+
+    #[test]
+    fn reader_roundtrips_scalars_and_strings() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_str(&mut buf, "emb/items");
+        put_f32s(&mut buf, &[1.5, -0.25]);
+        let mut r = SectionReader::new(&buf, "params");
+        assert_eq!(r.u32("a").unwrap(), 7);
+        assert_eq!(r.u64("b").unwrap(), u64::MAX - 1);
+        assert_eq!(r.str("c").unwrap(), "emb/items");
+        assert_eq!(r.f32s(2, "d").unwrap(), vec![1.5, -0.25]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_typed_corruption_not_allocation() {
+        // A string claiming u32::MAX bytes in a 6-byte payload.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        buf.extend_from_slice(b"ab");
+        let mut r = SectionReader::new(&buf, "params");
+        let err = r.str("name").unwrap_err();
+        assert!(
+            matches!(err, MissError::Corrupt { section: "params", ref reason }
+                if reason.contains("claims")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn f32_count_overflow_is_caught() {
+        let buf = [0u8; 16];
+        let mut r = SectionReader::new(&buf, "moments");
+        let err = r.f32s(usize::MAX / 2, "data").unwrap_err();
+        assert!(matches!(err, MissError::Corrupt { section: "moments", .. }), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let buf = [0u8; 3];
+        let r = SectionReader::new(&buf, "progress");
+        let err = r.finish().unwrap_err();
+        assert!(matches!(err, MissError::Corrupt { section: "progress", .. }));
+    }
+}

@@ -19,7 +19,6 @@ pub mod init;
 mod layers;
 mod optim;
 mod rnn;
-mod serialize;
 mod store;
 
 pub use attention::TransformerBlock;
@@ -27,4 +26,4 @@ pub use graph::{dropout, Graph};
 pub use layers::{Activation, Linear, Mlp};
 pub use optim::Adam;
 pub use rnn::{AuGruCell, GruCell, LstmCell};
-pub use store::{DenseId, EmbeddingTable, ParamStore, StoreSnapshot, TableId};
+pub use store::{DenseId, EmbeddingTable, ParamStore, ParamView, StoreSnapshot, TableId};

@@ -52,6 +52,14 @@ impl Adam {
         self.t
     }
 
+    /// Set the step counter, for resuming from a checkpoint. Bias correction
+    /// depends on `t`, so a resumed optimiser must continue from the saved
+    /// count (together with the moments stored in the [`ParamStore`]) for
+    /// the resumed run to be bitwise identical to an uninterrupted one.
+    pub fn restore_steps(&mut self, t: u64) {
+        self.t = t;
+    }
+
     /// Apply one step: dense gradients via the graph's bindings, sparse
     /// gradients from the backward result.
     pub fn step(&mut self, store: &mut ParamStore, graph: &Graph, grads: Grads) {

@@ -1,6 +1,7 @@
 //! Parameter storage: dense matrices and embedding tables with Adam state.
 
 use miss_tensor::Tensor;
+use miss_util::MissError;
 
 /// Identifier of a dense parameter inside a [`ParamStore`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -15,6 +16,21 @@ pub(crate) struct DenseParam {
     pub value: Tensor,
     pub m: Tensor,
     pub v: Tensor,
+}
+
+/// Borrowed view of one parameter — its value and Adam moments — as exposed
+/// to the checkpoint codec by [`ParamStore::dense_views`] /
+/// [`ParamStore::table_views`]. Read-only: mutation goes through the typed
+/// `set_*` loaders so shape checks can never be skipped.
+pub struct ParamView<'a> {
+    /// Registration name.
+    pub name: &'a str,
+    /// Current weights.
+    pub value: &'a Tensor,
+    /// Adam first moment.
+    pub m: &'a Tensor,
+    /// Adam second moment.
+    pub v: &'a Tensor,
 }
 
 /// An embedding matrix (`rows × dim`) with per-row Adam moments. Rows are
@@ -160,6 +176,109 @@ impl ParamStore {
         self.dense.iter().map(|p| p.name.as_str()).collect()
     }
 
+    /// Number of registered dense parameters.
+    pub fn num_dense(&self) -> usize {
+        self.dense.len()
+    }
+
+    /// Number of registered embedding tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Borrowed views of every dense parameter (value + Adam moments), in
+    /// registration order. This is the traversal the checkpoint codec
+    /// serialises.
+    pub fn dense_views(&self) -> impl Iterator<Item = ParamView<'_>> {
+        self.dense.iter().map(|p| ParamView {
+            name: &p.name,
+            value: &p.value,
+            m: &p.m,
+            v: &p.v,
+        })
+    }
+
+    /// Borrowed views of every embedding table, in registration order.
+    pub fn table_views(&self) -> impl Iterator<Item = ParamView<'_>> {
+        self.tables.iter().map(|t| ParamView {
+            name: &t.name,
+            value: &t.value,
+            m: &t.m,
+            v: &t.v,
+        })
+    }
+
+    /// Overwrite a dense parameter's value by name. Unlike the `assert!`ing
+    /// in-process accessors, this is a *load* entry point fed by untrusted
+    /// artifacts, so an unknown name or a wrong shape is a typed error.
+    pub fn set_dense_param(&mut self, name: &str, value: Tensor) -> Result<(), MissError> {
+        let p = Self::find_mut(&mut self.dense, name, |p| &p.name, "dense param")?;
+        Self::check_shape("dense param", name, p.value.shape(), value.shape())?;
+        p.value = value;
+        Ok(())
+    }
+
+    /// Overwrite a dense parameter's Adam moments by name (typed errors, see
+    /// [`ParamStore::set_dense_param`]).
+    pub fn set_dense_moments(&mut self, name: &str, m: Tensor, v: Tensor) -> Result<(), MissError> {
+        let p = Self::find_mut(&mut self.dense, name, |p| &p.name, "dense param")?;
+        Self::check_shape("dense param moment m", name, p.m.shape(), m.shape())?;
+        Self::check_shape("dense param moment v", name, p.v.shape(), v.shape())?;
+        p.m = m;
+        p.v = v;
+        Ok(())
+    }
+
+    /// Overwrite an embedding table's weights by name (typed errors).
+    pub fn set_table_param(&mut self, name: &str, value: Tensor) -> Result<(), MissError> {
+        let t = Self::find_mut(&mut self.tables, name, |t| &t.name, "embedding table")?;
+        Self::check_shape("embedding table", name, t.value.shape(), value.shape())?;
+        t.value = value;
+        Ok(())
+    }
+
+    /// Overwrite an embedding table's Adam moments by name (typed errors).
+    pub fn set_table_moments(&mut self, name: &str, m: Tensor, v: Tensor) -> Result<(), MissError> {
+        let t = Self::find_mut(&mut self.tables, name, |t| &t.name, "embedding table")?;
+        Self::check_shape("embedding table moment m", name, t.m.shape(), m.shape())?;
+        Self::check_shape("embedding table moment v", name, t.v.shape(), v.shape())?;
+        t.m = m;
+        t.v = v;
+        Ok(())
+    }
+
+    fn find_mut<'a, T>(
+        items: &'a mut [T],
+        name: &str,
+        name_of: impl Fn(&T) -> &String,
+        kind: &'static str,
+    ) -> Result<&'a mut T, MissError> {
+        match items.iter_mut().find(|it| name_of(it) == name) {
+            Some(it) => Ok(it),
+            None => Err(MissError::UnknownParam {
+                kind,
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    fn check_shape(
+        what: &str,
+        name: &str,
+        expected: (usize, usize),
+        got: (usize, usize),
+    ) -> Result<(), MissError> {
+        if expected == got {
+            Ok(())
+        } else {
+            Err(MissError::ShapeMismatch {
+                context: format!("{what} {name}"),
+                expected,
+                got,
+            })
+        }
+    }
+
     /// FNV-1a hash over the raw bit patterns of every parameter value
     /// (dense matrices then embedding tables, in registration order).
     /// Two stores fingerprint equal iff their weights are *bitwise*
@@ -233,6 +352,56 @@ mod tests {
             b.params_fingerprint(),
             "a one-ulp weight change must flip the fingerprint"
         );
+    }
+
+    #[test]
+    fn views_expose_values_and_moments_in_registration_order() {
+        let mut s = ParamStore::new();
+        s.dense("w1", 1, 2, |r, c| Tensor::full(r, c, 1.0));
+        s.dense("w2", 2, 2, |r, c| Tensor::full(r, c, 2.0));
+        s.table("e", 3, 2, |r, c| Tensor::full(r, c, 3.0));
+        let names: Vec<&str> = s.dense_views().map(|p| p.name).collect();
+        assert_eq!(names, ["w1", "w2"]);
+        let v = s.dense_views().next().expect("w1 view");
+        assert_eq!(v.value.get(0, 1), 1.0);
+        assert_eq!(v.m.shape(), (1, 2), "moments travel with the view");
+        assert_eq!(s.table_views().count(), 1);
+    }
+
+    #[test]
+    fn typed_setters_reject_unknown_names_and_bad_shapes() {
+        use miss_util::MissError;
+        let mut s = ParamStore::new();
+        s.dense("w", 2, 3, |r, c| Tensor::zeros(r, c));
+        s.table("e", 4, 2, |r, c| Tensor::zeros(r, c));
+
+        let err = s.set_dense_param("nope", Tensor::zeros(2, 3)).unwrap_err();
+        assert!(matches!(err, MissError::UnknownParam { kind: "dense param", .. }));
+
+        let err = s.set_dense_param("w", Tensor::zeros(3, 2)).unwrap_err();
+        assert!(matches!(
+            err,
+            MissError::ShapeMismatch { expected: (2, 3), got: (3, 2), .. }
+        ));
+
+        let err = s
+            .set_table_moments("e", Tensor::zeros(4, 2), Tensor::zeros(1, 1))
+            .unwrap_err();
+        assert!(matches!(err, MissError::ShapeMismatch { .. }));
+
+        s.set_dense_param("w", Tensor::full(2, 3, 9.0)).expect("good shape");
+        let id = s.dense("w", 2, 3, init_zeros);
+        assert_eq!(s.dense_value(id).get(0, 0), 9.0);
+        s.set_table_param("e", Tensor::full(4, 2, 7.0)).expect("good shape");
+        s.set_dense_moments("w", Tensor::full(2, 3, 0.1), Tensor::full(2, 3, 0.2))
+            .expect("moments load");
+        let view = s.dense_views().next().expect("view");
+        assert_eq!(view.m.get(0, 0), 0.1);
+        assert_eq!(view.v.get(1, 2), 0.2);
+    }
+
+    fn init_zeros(r: usize, c: usize) -> Tensor {
+        Tensor::zeros(r, c)
     }
 
     #[test]

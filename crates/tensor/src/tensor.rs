@@ -43,6 +43,25 @@ impl Tensor {
         Tensor { rows, cols, data }
     }
 
+    /// Fallible [`Tensor::from_vec`] for buffers whose shape comes from
+    /// *untrusted input* (the checkpoint codec): a size mismatch — including
+    /// `rows * cols` overflowing `usize` — is reported as a typed
+    /// [`MissError::ShapeMismatch`] instead of a panic.
+    pub fn try_from_vec(
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+    ) -> Result<Self, miss_util::MissError> {
+        match rows.checked_mul(cols) {
+            Some(n) if n == data.len() => Ok(Tensor { rows, cols, data }),
+            _ => Err(miss_util::MissError::ShapeMismatch {
+                context: format!("Tensor::try_from_vec buffer of {} values", data.len()),
+                expected: (rows, cols),
+                got: (1, data.len()),
+            }),
+        }
+    }
+
     /// Build element-wise from a function of `(row, col)`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
@@ -171,6 +190,18 @@ mod tests {
     fn zeros_and_full() {
         assert!(Tensor::zeros(3, 2).as_slice().iter().all(|&x| x == 0.0));
         assert!(Tensor::full(2, 2, 7.0).as_slice().iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn try_from_vec_rejects_bad_shapes_without_panicking() {
+        use miss_util::MissError;
+        let err = Tensor::try_from_vec(2, 3, vec![0.0; 5]).unwrap_err();
+        assert!(matches!(err, MissError::ShapeMismatch { expected: (2, 3), .. }));
+        // rows*cols overflow must be caught, not wrap around
+        let err = Tensor::try_from_vec(usize::MAX, 2, vec![0.0; 4]).unwrap_err();
+        assert!(matches!(err, MissError::ShapeMismatch { .. }));
+        let ok = Tensor::try_from_vec(2, 2, vec![1.0; 4]).unwrap();
+        assert_eq!(ok.shape(), (2, 2));
     }
 
     #[test]

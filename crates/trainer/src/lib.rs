@@ -2,11 +2,15 @@
 //! pre-training, Table IX), evaluation, early stopping on validation AUC,
 //! and the model/SSL registry the experiment binaries dispatch over.
 
+mod checkpoint;
 mod evaluate;
 mod fit;
 mod registry;
 
+pub use checkpoint::Trainer;
 pub use evaluate::{evaluate, evaluate_gauc, EvalResult};
+pub use miss_codec::TrainProgress;
+pub use miss_util::{MissError, MissResult};
 pub use fit::{
     fit, fit_pretrain, grid_search, micro_batch_len, train_epoch, FitOutcome, GridPoint,
     TrainConfig, MIN_MICRO_ROWS, TRAIN_MICRO_CHUNKS,

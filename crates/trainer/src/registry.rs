@@ -1,7 +1,8 @@
 //! Registry of base models and SSL methods so experiment binaries dispatch
 //! by name, plus the [`Experiment`] runner (model × SSL × dataset × seeds).
 
-use crate::evaluate::EvalResult;
+use crate::checkpoint::Trainer;
+use crate::evaluate::{evaluate, EvalResult};
 use crate::fit::{fit, fit_pretrain, FitOutcome, TrainConfig};
 use miss_core::{Cl4SRec, Irssl, Miss, MissConfig, RuleSsl, S3Rec, SslMethod};
 use miss_data::{Dataset, Schema};
@@ -10,7 +11,8 @@ use miss_models::{
     SimSoft, XDeepFm,
 };
 use miss_nn::ParamStore;
-use miss_util::Rng;
+use miss_util::{MissError, Rng};
+use std::path::PathBuf;
 
 /// Every base CTR model of Table IV.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,6 +171,12 @@ pub struct Experiment {
     /// When true, use the two-stage pre-training strategy (Table IX) with
     /// this many SSL-only epochs; joint training otherwise.
     pub pretrain_epochs: Option<usize>,
+    /// Resume [`Experiment::run_checkpointed`] from this checkpoint instead
+    /// of starting fresh.
+    pub resume_from: Option<PathBuf>,
+    /// Where [`Experiment::run_checkpointed`] writes its checkpoint after
+    /// every epoch.
+    pub checkpoint_out: Option<PathBuf>,
 }
 
 impl Experiment {
@@ -180,6 +188,8 @@ impl Experiment {
             model_cfg: ModelConfig::default(),
             train_cfg: TrainConfig::default(),
             pretrain_epochs: None,
+            resume_from: None,
+            checkpoint_out: None,
         }
     }
 
@@ -212,6 +222,39 @@ impl Experiment {
     /// Run `reps` seeds and return the test metrics of each.
     pub fn run_reps(&self, dataset: &Dataset, reps: usize) -> Vec<EvalResult> {
         (0..reps as u64).map(|s| self.run(dataset, s).test).collect()
+    }
+
+    /// Like [`Experiment::run`], but driven by a [`Trainer`] so the run can
+    /// be checkpointed after every epoch ([`Experiment::checkpoint_out`]) and
+    /// resumed mid-run ([`Experiment::resume_from`]) with bitwise-identical
+    /// weights. Trades `fit`'s early stopping for a plain
+    /// `max_epochs`-bounded loop (metrics are of the final epoch, not the
+    /// best-validation one), and surfaces checkpoint problems as typed
+    /// [`MissError`]s instead of aborting.
+    pub fn run_checkpointed(&self, dataset: &Dataset, seed: u64) -> Result<FitOutcome, MissError> {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(seed ^ 0xE9);
+        let model = self
+            .base
+            .build(&mut store, &dataset.schema, &self.model_cfg, &mut rng);
+        let ssl = self.ssl.build(&mut store, model.embedding(), &mut rng);
+        let mut cfg = self.train_cfg.clone();
+        cfg.seed = seed;
+        let mut trainer = match &self.resume_from {
+            Some(path) => Trainer::resume_from(cfg.clone(), &mut store, path)?,
+            None => Trainer::new(cfg.clone()),
+        };
+        let mut epochs = 0usize;
+        while trainer.epoch() < cfg.max_epochs as u64 {
+            trainer.train_epoch(model.as_ref(), ssl.as_deref(), &mut store, dataset);
+            epochs += 1;
+            if let Some(path) = &self.checkpoint_out {
+                trainer.save_checkpoint(&store, path)?;
+            }
+        }
+        let valid = evaluate(model.as_ref(), &store, &dataset.valid, &dataset.schema, 256);
+        let test = evaluate(model.as_ref(), &store, &dataset.test, &dataset.schema, 256);
+        Ok(FitOutcome { test, valid, epochs })
     }
 }
 

@@ -1,0 +1,166 @@
+//! `MissError` — the workspace-wide typed error taxonomy.
+//!
+//! Lives in `miss-util` (the bottom of the crate graph) so that every layer —
+//! `miss-tensor` constructors, `miss-nn`'s [`ParamStore`] loaders, the
+//! `miss-codec` checkpoint codec, and the trainer's resume path — can speak
+//! the same error language without dependency cycles.
+//!
+//! The split between errors and panics is deliberate (DESIGN.md §8): anything
+//! reachable from *untrusted input* (a checkpoint file, a CLI artifact)
+//! returns `MissError`; shape bugs between in-process components remain
+//! `assert!`s, because a wrong shape there is a programming error no caller
+//! can meaningfully recover from.
+
+use std::fmt;
+
+/// Workspace result alias.
+pub type MissResult<T> = Result<T, MissError>;
+
+/// Every recoverable failure the persistence and loading paths can produce.
+///
+/// A long-running process (the future serving engine, a resumed training
+/// run) matches on these variants to reject a bad artifact instead of dying:
+/// no path that constructs a `MissError` is allowed to panic on malformed
+/// input.
+#[derive(Debug)]
+pub enum MissError {
+    /// A tensor (or parameter) arrived with a different shape than the
+    /// receiver requires.
+    ShapeMismatch {
+        /// What was being loaded/constructed (e.g. `"dense param w1"`).
+        context: String,
+        /// The shape the receiver requires.
+        expected: (usize, usize),
+        /// The shape that actually arrived.
+        got: (usize, usize),
+    },
+    /// A checkpoint section failed validation: truncated payload, checksum
+    /// mismatch, an out-of-bounds length prefix, or an unparseable field.
+    Corrupt {
+        /// Wire section the damage was detected in
+        /// (`"header"` / `"params"` / `"moments"` / `"progress"`).
+        section: &'static str,
+        /// Human-readable diagnosis.
+        reason: String,
+    },
+    /// The artifact's format version is not one this build can decode.
+    UnsupportedVersion {
+        /// Version field found in the artifact.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
+    /// A named parameter in the artifact does not exist in the receiving
+    /// store (architecture mismatch).
+    UnknownParam {
+        /// `"dense param"` or `"embedding table"`.
+        kind: &'static str,
+        /// The offending name.
+        name: String,
+    },
+    /// The artifact and the receiving store disagree on how many parameters
+    /// exist (architecture mismatch at the coarsest level).
+    CountMismatch {
+        /// `"dense params"` or `"embedding tables"`.
+        kind: &'static str,
+        /// Count the receiving store has.
+        expected: usize,
+        /// Count the artifact carries.
+        got: usize,
+    },
+    /// An underlying I/O failure (file missing, permission, disk).
+    Io(std::io::Error),
+}
+
+impl MissError {
+    /// Shorthand constructor for [`MissError::Corrupt`].
+    pub fn corrupt(section: &'static str, reason: impl Into<String>) -> Self {
+        MissError::Corrupt {
+            section,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for MissError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MissError::ShapeMismatch {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "shape mismatch for {context}: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            MissError::Corrupt { section, reason } => {
+                write!(f, "corrupt checkpoint ({section} section): {reason}")
+            }
+            MissError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint format version {found} (this build reads up to {supported})"
+            ),
+            MissError::UnknownParam { kind, name } => {
+                write!(f, "checkpoint names a {kind} {name:?} the store does not have")
+            }
+            MissError::CountMismatch {
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "checkpoint has {got} {kind}, the store has {expected}"
+            ),
+            MissError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MissError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MissError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MissError {
+    fn from(e: std::io::Error) -> Self {
+        MissError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MissError::ShapeMismatch {
+            context: "dense param w1".into(),
+            expected: (2, 3),
+            got: (3, 2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("w1") && s.contains("2x3") && s.contains("3x2"), "{s}");
+
+        let c = MissError::corrupt("params", "checksum mismatch");
+        assert!(c.to_string().contains("params"), "{c}");
+
+        let v = MissError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(v.to_string().contains('9'), "{v}");
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: MissError = io.into();
+        assert!(matches!(e, MissError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

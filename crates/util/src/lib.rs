@@ -7,12 +7,14 @@
 //! Dirichlet, Zipf), small order-statistics helpers, and the statistics used
 //! when reporting experiments (mean/std, paired t-test).
 
+mod error;
 mod math;
 mod order;
 mod rng;
 mod sample;
 mod stats;
 
+pub use error::{MissError, MissResult};
 pub use math::{sigmoid, sigmoid_extend};
 pub use order::{argsort_desc, top_k_desc};
 pub use rng::Rng;

@@ -37,6 +37,18 @@ MISS_THREADS=1 cargo test -q
 echo "==> tier-1: cargo test -q (default MISS_THREADS)"
 cargo test -q
 
+# The checkpoint gate re-runs the codec's two test batteries by name: the
+# corruption battery (every damaged artifact fails with the matching typed
+# MissError, never a panic or a hostile allocation) and the round-trip
+# properties (save → load is bitwise identity for params, Adam moments and
+# progress). Both already ran inside `cargo test` above; running them here
+# makes a checkpoint regression fail with the battery named in the log.
+echo "==> checkpoint gate: codec corruption battery"
+cargo test -q -p miss-codec --test corruption
+
+echo "==> checkpoint gate: codec round-trip properties"
+cargo test -q -p miss-codec --test roundtrip
+
 # The trainer's determinism suite is the contract the parallel training and
 # eval paths must keep: bitwise-identical weights/metrics across thread
 # counts and micro-batch task groupings. It already ran inside each full

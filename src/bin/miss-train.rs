@@ -4,15 +4,21 @@
 //! miss-train stats  --dataset cds|books|alipay|tiny [--scale F]
 //! miss-train train  --dataset cds --model DIN [--miss] [--scale F]
 //!                   [--seed N] [--epochs N] [--out model.ckpt]
+//!                   [--resume model.ckpt]
 //! miss-train eval   --dataset cds --model DIN --ckpt model.ckpt [--miss]
 //! ```
+//!
+//! With `--out`, training checkpoints to FILE after every epoch; with
+//! `--resume`, it continues from FILE (bitwise identical to the run that
+//! wrote it). Corrupt or mismatched checkpoints exit 1 with the codec's
+//! typed diagnosis.
 
 #![allow(clippy::field_reassign_with_default)]
 
 use miss::core::MissConfig;
 use miss::data::{Dataset, WorldConfig};
 use miss::nn::ParamStore;
-use miss::trainer::{evaluate, BaseModel, Experiment, SslKind, TrainConfig, ALL_BASELINES};
+use miss::trainer::{evaluate, BaseModel, Experiment, SslKind, ALL_BASELINES};
 use miss::util::Rng;
 use std::path::PathBuf;
 use std::process::exit;
@@ -37,7 +43,7 @@ impl Args {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  miss-train stats --dataset <cds|books|alipay|tiny> [--scale F]\n  \
-         miss-train train --dataset <ds> --model <name> [--miss] [--seed N] [--epochs N] [--out FILE]\n  \
+         miss-train train --dataset <ds> --model <name> [--miss] [--seed N] [--epochs N] [--out FILE] [--resume FILE]\n  \
          miss-train eval  --dataset <ds> --model <name> --ckpt FILE [--miss]\n\nmodels: {}",
         ALL_BASELINES
             .iter()
@@ -102,27 +108,26 @@ fn main() {
             if let Some(epochs) = args.get("--epochs") {
                 e.train_cfg.max_epochs = epochs.parse().unwrap();
             }
+            e.checkpoint_out = args.get("--out").map(PathBuf::from);
+            e.resume_from = args.get("--resume").map(PathBuf::from);
             println!("training {} on {} (seed {seed})...", e.label(), dataset.name);
-            let out = e.run(&dataset, seed);
+            let out = if e.checkpoint_out.is_some() || e.resume_from.is_some() {
+                match e.run_checkpointed(&dataset, seed) {
+                    Ok(out) => out,
+                    Err(err) => {
+                        eprintln!("checkpoint error: {err}");
+                        exit(1)
+                    }
+                }
+            } else {
+                e.run(&dataset, seed)
+            };
             println!(
                 "test AUC {:.4}  Logloss {:.4}  ({} epochs)",
                 out.test.auc, out.test.logloss, out.epochs
             );
-            if let Some(path) = args.get("--out") {
-                // re-train in place to produce a persistable store
-                let mut store = ParamStore::new();
-                let mut rng = Rng::new(seed ^ 0xE9);
-                let m = base.build(&mut store, &dataset.schema, &e.model_cfg, &mut rng);
-                let mut cfg = TrainConfig::default();
-                cfg.seed = seed;
-                if let Some(epochs) = args.get("--epochs") {
-                    cfg.max_epochs = epochs.parse().unwrap();
-                }
-                miss::trainer::fit(m.as_ref(), None, &mut store, &dataset, &cfg);
-                store
-                    .save_to_path(&PathBuf::from(path))
-                    .expect("failed to write checkpoint");
-                println!("checkpoint written to {path}");
+            if let Some(path) = &e.checkpoint_out {
+                println!("checkpoint written to {}", path.display());
             }
         }
         "eval" => {
@@ -137,9 +142,14 @@ fn main() {
                 &miss::models::ModelConfig::default(),
                 &mut rng,
             );
-            store
-                .load_from_path(&PathBuf::from(ckpt))
-                .expect("failed to read checkpoint");
+            match miss::codec::load_from_path(&PathBuf::from(ckpt), &mut store) {
+                Ok(Some(p)) => println!("checkpoint at epoch {} (adam step {})", p.epoch, p.step),
+                Ok(None) => {}
+                Err(err) => {
+                    eprintln!("checkpoint error: {err}");
+                    exit(1)
+                }
+            }
             let r = evaluate(m.as_ref(), &store, &dataset.test, &dataset.schema, 256);
             println!("test AUC {:.4}  Logloss {:.4}", r.auc, r.logloss);
         }

@@ -11,6 +11,8 @@
 //! - [`tensor`] — dense f32 tensors;
 //! - [`autograd`] — tape-based reverse-mode automatic differentiation;
 //! - [`nn`] — layers, parameter store, Adam optimiser;
+//! - [`codec`] — versioned checkpoint save/load with typed errors;
+//! - [`parallel`] — the deterministic `MISS_THREADS` worker pool;
 //! - [`data`] — the interest-world behavioural simulator and dataset pipeline;
 //! - [`metrics`] — AUC / Logloss;
 //! - [`models`] — the thirteen baseline CTR models (LR … FiGNN);
@@ -20,11 +22,13 @@
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
 pub use miss_autograd as autograd;
+pub use miss_codec as codec;
 pub use miss_core as core;
 pub use miss_data as data;
 pub use miss_metrics as metrics;
 pub use miss_models as models;
 pub use miss_nn as nn;
+pub use miss_parallel as parallel;
 pub use miss_tensor as tensor;
 pub use miss_trainer as trainer;
 pub use miss_util as util;

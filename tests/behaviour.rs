@@ -28,14 +28,14 @@ fn checkpoint_roundtrip_preserves_metrics() {
     };
     let out = fit(&model, None, &mut store, &dataset, &cfg);
 
-    let mut buf = Vec::new();
-    store.save(&mut buf).unwrap();
+    let buf = miss::codec::save_to_vec(&store, None).unwrap();
 
     // Fresh store + same architecture, load weights, metrics must match.
     let mut store2 = ParamStore::new();
     let mut rng2 = Rng::new(99); // different init — must be overwritten
     let model2 = Din::new(&mut store2, &dataset.schema, &ModelConfig::default(), &mut rng2);
-    store2.load(&mut buf.as_slice()).unwrap();
+    let progress = miss::codec::load_from_slice(&buf, &mut store2).unwrap();
+    assert!(progress.is_none(), "no trainer progress was saved");
     let r = evaluate(&model2, &store2, &dataset.test, &dataset.schema, 128);
     assert!((r.auc - out.test.auc).abs() < 1e-12, "{} vs {}", r.auc, out.test.auc);
     assert!((r.logloss - out.test.logloss).abs() < 1e-9);

@@ -161,6 +161,53 @@ fn sparsity_transform_degrades_base_model() {
     );
 }
 
+/// Resume must be invisible: training 2 epochs straight vs training 1,
+/// checkpointing, loading into a *fresh* differently-initialised process
+/// image, and training 1 more must give bit-identical parameters — at
+/// every thread count, since checkpoints may cross machine sizes.
+#[test]
+fn resume_is_bitwise_identical_to_uninterrupted_training() {
+    use miss::trainer::Trainer;
+
+    let dataset = Dataset::generate(WorldConfig::tiny(), 107);
+    let cfg = quick_cfg(9);
+    for threads in [1usize, 4] {
+        miss::parallel::with_threads(threads, || {
+            // Straight run: 2 epochs, no interruption.
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(9);
+            let model =
+                Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+            let mut trainer = Trainer::new(cfg.clone());
+            trainer.train_epoch(&model, None, &mut store, &dataset);
+            trainer.train_epoch(&model, None, &mut store, &dataset);
+            let straight = store.params_fingerprint();
+
+            // Interrupted run: 1 epoch, save, resume elsewhere, 1 more.
+            let mut s1 = ParamStore::new();
+            let mut r1 = Rng::new(9);
+            let m1 = Din::new(&mut s1, &dataset.schema, &ModelConfig::default(), &mut r1);
+            let mut t1 = Trainer::new(cfg.clone());
+            t1.train_epoch(&m1, None, &mut s1, &dataset);
+            let ckpt = t1.save_checkpoint_bytes(&s1).expect("save checkpoint");
+
+            let mut s2 = ParamStore::new();
+            let mut r2 = Rng::new(1234); // different init, overwritten by resume
+            let m2 = Din::new(&mut s2, &dataset.schema, &ModelConfig::default(), &mut r2);
+            let mut t2 =
+                Trainer::resume_from_bytes(cfg.clone(), &mut s2, &ckpt).expect("resume");
+            assert_eq!(t2.epoch(), 1);
+            t2.train_epoch(&m2, None, &mut s2, &dataset);
+
+            assert_eq!(
+                straight,
+                s2.params_fingerprint(),
+                "resumed training diverged from uninterrupted at {threads} threads"
+            );
+        });
+    }
+}
+
 /// Heavy label noise must hurt the base model (Table XI premise).
 #[test]
 fn noise_transform_degrades_base_model() {
