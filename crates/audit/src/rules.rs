@@ -310,6 +310,36 @@ pub fn safety_comments(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
             });
         }
     }
+    // FMA target-feature attributes get the same treatment as the `unsafe`
+    // keyword: a `#[target_feature(enable = "…fma…")]` function executes
+    // ISA-gated instructions (and, since Rust 2024, may be declared safe),
+    // so the attribute itself must carry a preceding `// SAFETY:` comment
+    // stating the cpuid precondition its callers establish.
+    for (idx, t) in ctx.toks.iter().enumerate() {
+        if !t.is_ident("target_feature") {
+            continue;
+        }
+        // Expect `# [ target_feature ( … ) ]`; bail on anything else (e.g.
+        // the words inside a comment or a string, which the lexer already
+        // classified as non-Ident).
+        if idx < 2 || !ctx.toks[idx - 1].is_punct('[') || !ctx.toks[idx - 2].is_punct('#') {
+            continue;
+        }
+        let mentions_fma = ctx.toks[idx + 1..]
+            .iter()
+            .take_while(|n| !n.is_punct(']'))
+            .any(|n| n.kind == TokKind::Str && n.text.contains("fma"));
+        if mentions_fma && !has_preceding_safety(ctx.toks, idx - 2) {
+            out.push(Violation {
+                path: ctx.path.to_string(),
+                line: t.line,
+                rule: RULE,
+                msg: "`#[target_feature]` enabling fma without an immediately preceding \
+                      `// SAFETY:` comment stating the cpuid precondition"
+                    .to_string(),
+            });
+        }
+    }
 }
 
 /// Walk backwards from the `unsafe` token at `idx` looking for a comment

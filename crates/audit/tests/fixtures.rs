@@ -164,6 +164,33 @@ fn r4_satisfied_by_block_comment_and_same_line_prefix() {
 }
 
 #[test]
+fn r4_fma_target_feature_requires_safety_even_without_unsafe_keyword() {
+    // A safe fn gated on `#[target_feature(enable = "avx2,fma")]` still
+    // executes ISA-gated instructions: the attribute needs its own SAFETY.
+    let src = "#[target_feature(enable = \"avx2,fma\")]\npub fn k(a: &[f32]) -> f32 { a[0] }\n";
+    assert_eq!(rules_at("src/kernels.rs", src), vec!["safety-comments"]);
+}
+
+#[test]
+fn r4_fma_target_feature_satisfied_through_cfg_attr_group() {
+    // The SAFETY comment may sit above a preceding `#[cfg]` group, exactly
+    // like it may for the `unsafe` keyword.
+    let src = "// SAFETY: dispatch calls this only after cpuid reports avx2+fma.\n#[cfg(target_arch = \"x86_64\")]\n#[target_feature(enable = \"avx2,fma\")]\npub fn k(a: &[f32]) -> f32 { a[0] }\n";
+    assert!(rules_at("src/kernels.rs", src).is_empty());
+}
+
+#[test]
+fn r4_non_fma_target_feature_is_not_gated_by_the_fma_clause() {
+    // Plain avx2 (no fma) target_feature: only the `unsafe` keyword rules
+    // apply, and this fn has none.
+    let src = "#[target_feature(enable = \"avx2\")]\npub fn k(a: &[f32]) -> f32 { a[0] }\n";
+    assert!(rules_at("src/kernels.rs", src).is_empty());
+    // The word inside a comment or string must not trigger the clause.
+    let src = "// fma target_feature is documented elsewhere\nfn f() { let _s = \"target_feature fma\"; }\n";
+    assert!(rules_at("src/kernels.rs", src).is_empty());
+}
+
+#[test]
 fn r4_unrelated_comment_does_not_count() {
     let src = "// this comment says nothing about preconditions\nfn f() { PLACEHOLDER { g() } }\n".replace("PLACEHOLDER", "unsafe");
     let f = audit_source("src/kernels.rs", &src, &cfg());

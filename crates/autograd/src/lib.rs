@@ -23,4 +23,5 @@ pub mod gradcheck;
 mod ops;
 mod tape;
 
+pub use ops::LinearAct;
 pub use tape::{Grads, SparseGrad, Tape, Var};

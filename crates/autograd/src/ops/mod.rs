@@ -8,7 +8,10 @@
 mod activation;
 mod arith;
 mod block;
+mod linear;
 mod loss;
 mod matmul;
 mod reduce;
 mod shape;
+
+pub use linear::LinearAct;

@@ -26,6 +26,13 @@ fn naive_nn(a: &Tensor, b: &Tensor) -> Vec<f32> {
 fn main() {
     let mut group = BenchGroup::new("kernels");
     group.sample_size(20);
+    // Determinism (and therefore the numbers) are per-(shape, ISA): record
+    // which dispatch path ran so baselines compare like-to-like.
+    group.meta("isa", miss_tensor::detected_isa());
+    group.meta(
+        "miss_threads",
+        &std::env::var("MISS_THREADS").unwrap_or_else(|_| "unset".into()),
+    );
 
     // The paper's shapes: batch 128, L = 30, K = 10, MLP width 40.
     let a = Tensor::from_fn(128, 40, |i, j| (i as f32 * 0.01 - j as f32 * 0.02).sin());

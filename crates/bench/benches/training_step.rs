@@ -113,22 +113,42 @@ fn main() {
 
     group.finish();
 
-    // Whole-epoch wall clock, serial vs parallel. Same model, same data,
-    // same canonical micro-batch schedule — only the thread count differs,
-    // and (per the determinism contract) only wall-clock may change.
-    // `BENCH_training.json` is gated by scripts/ci.sh: the parallel case
-    // must exist and neither median may regress past the 25% tolerance.
+    // Whole-epoch wall clock, serial vs sharded, swept over minibatch size
+    // so the crossover is visible in `BENCH_training.json`. "serial" forces
+    // the unsharded single-micro path (`parallel_min_rows = usize::MAX`) at
+    // one thread; "parallel" is the default adaptive config at four threads.
+    // Same model, same data, same per-micro RNG streams — only scheduling
+    // differs. `BENCH_training.json` is gated by scripts/ci.sh: the parallel
+    // case must beat the serial one at the largest swept batch.
     let mut training = BenchGroup::new("training");
     training.sample_size(10);
-    let epoch_cfg = TrainConfig {
-        batch_size: 128,
-        ..TrainConfig::default()
-    };
-    let epoch_case = |name: &str, threads: usize, training: &mut BenchGroup| {
+    training.meta("isa", miss_tensor::detected_isa());
+    training.meta(
+        "miss_threads",
+        &std::env::var("MISS_THREADS").unwrap_or_else(|_| "unset".into()),
+    );
+    // Large enough that the biggest swept minibatch is a full 4096 rows.
+    let sweep_data = Dataset::generate(WorldConfig::amazon_cds(2.0), 77);
+    let epoch_case = |name: &str, batch: usize, serial: bool, training: &mut BenchGroup| {
+        let epoch_cfg = TrainConfig {
+            batch_size: batch,
+            parallel_min_rows: if serial {
+                usize::MAX
+            } else {
+                TrainConfig::default().parallel_min_rows
+            },
+            ..TrainConfig::default()
+        };
+        let threads = if serial { 1 } else { 4 };
         training.bench_function(name, |bch| {
             let mut store = ParamStore::new();
             let mut rng = Rng::new(0);
-            let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+            let model = Din::new(
+                &mut store,
+                &sweep_data.schema,
+                &ModelConfig::default(),
+                &mut rng,
+            );
             let mut adam = Adam::new(epoch_cfg.lr, epoch_cfg.l2);
             let mut epoch_rng = Rng::new(0);
             bch.iter(|| {
@@ -138,7 +158,7 @@ fn main() {
                         None,
                         &mut store,
                         &mut adam,
-                        &dataset,
+                        &sweep_data,
                         &epoch_cfg,
                         &mut epoch_rng,
                         true,
@@ -147,7 +167,20 @@ fn main() {
             })
         });
     };
-    epoch_case("train_epoch_serial", 1, &mut training);
-    epoch_case("train_epoch_parallel", 4, &mut training);
+    for batch in [256usize, 1024, 4096] {
+        epoch_case(&format!("train_epoch_serial_b{batch}"), batch, true, &mut training);
+        epoch_case(&format!("train_epoch_parallel_b{batch}"), batch, false, &mut training);
+    }
     training.finish();
+
+    // With MISS_PROFILE set, the per-phase scope timers inside train_epoch
+    // were live; drop their aggregate beside the bench JSON.
+    if miss_util::profile::enabled() {
+        let dir = std::env::var("TESTKIT_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        let path = std::path::Path::new(&dir).join("PROFILE_training.json");
+        match miss_util::profile::write_json(&path) {
+            Ok(()) => println!("training: wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
 }

@@ -3,7 +3,7 @@
 use crate::graph::Graph;
 use crate::init;
 use crate::store::{DenseId, ParamStore};
-use miss_autograd::Var;
+use miss_autograd::{LinearAct, Var};
 use miss_util::Rng;
 
 /// Activation selector for [`Mlp`] layers.
@@ -33,6 +33,18 @@ impl Activation {
                 let a = g.param(store, id);
                 g.tape.prelu(x, a)
             }
+        }
+    }
+
+    /// The GEMM-epilogue form of this activation, if it has one. Tanh and
+    /// PReLU stay unfused: their backward needs state the epilogue store
+    /// doesn't keep (PReLU's slope is itself a parameter).
+    pub fn fused(self) -> Option<LinearAct> {
+        match self {
+            Activation::Linear => Some(LinearAct::Identity),
+            Activation::Relu => Some(LinearAct::Relu),
+            Activation::Sigmoid => Some(LinearAct::Sigmoid),
+            Activation::Tanh | Activation::PRelu(_) => None,
         }
     }
 }
@@ -66,11 +78,24 @@ impl Linear {
 
     /// Forward pass.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        self.forward_act(g, store, x, Activation::Linear)
+    }
+
+    /// Forward pass with `act` applied, fused into the GEMM epilogue when the
+    /// activation supports it (one kernel pass instead of matmul + bias +
+    /// activation), falling back to the unfused chain otherwise.
+    pub fn forward_act(&self, g: &mut Graph, store: &ParamStore, x: Var, act: Activation) -> Var {
         debug_assert_eq!(g.tape.shape(x).1, self.in_dim, "Linear input width");
         let w = g.param(store, self.w);
         let b = g.param(store, self.b);
-        let xw = g.tape.matmul(x, w);
-        g.tape.add_bias(xw, b)
+        match act.fused() {
+            Some(fused) => g.tape.linear(x, w, b, fused),
+            None => {
+                let xw = g.tape.matmul(x, w);
+                let z = g.tape.add_bias(xw, b);
+                act.apply(g, store, z)
+            }
+        }
     }
 
     /// Output width.
@@ -139,13 +164,12 @@ impl Mlp {
         let mut h = x;
         let n = self.layers.len();
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(g, store, h);
             let act = if i + 1 == n {
                 self.final_act
             } else {
                 self.hidden_act
             };
-            h = act.apply(g, store, h);
+            h = layer.forward_act(g, store, h, act);
         }
         h
     }

@@ -20,4 +20,5 @@ mod kernels;
 mod ops;
 mod tensor;
 
+pub use kernels::{detected_isa, GemmEpilogue};
 pub use tensor::Tensor;

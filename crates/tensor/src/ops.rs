@@ -9,6 +9,7 @@
 //! `MISS_THREADS` value.
 
 use crate::kernels;
+use crate::kernels::GemmEpilogue;
 use crate::Tensor;
 
 /// Minimum multiply-accumulate count (`m·k·n`) before a kernel call fans
@@ -45,9 +46,21 @@ impl Tensor {
 
     /// `self (m×k) @ other (k×n) -> m×n`, tiled with parallel row chunks.
     pub fn matmul_nn(&self, other: &Tensor) -> Tensor {
+        self.matmul_nn_ep(other, GemmEpilogue::None)
+    }
+
+    /// [`Tensor::matmul_nn`] with a fused epilogue: bias add and activation
+    /// happen in the accumulator-store tail of the kernel instead of as
+    /// separate full-matrix passes. On non-FMA machines the epilogue runs
+    /// as one in-place pass per row chunk — same math, same bits as the
+    /// unfused sequence there.
+    pub fn matmul_nn_ep(&self, other: &Tensor, ep: GemmEpilogue) -> Tensor {
         let (m, k) = self.shape();
         let (k2, n) = other.shape();
         assert_eq!(k, k2, "matmul_nn inner dims {k} vs {k2}");
+        if let Some(b) = ep.bias() {
+            assert_eq!(b.len(), n, "epilogue bias width");
+        }
         let mut out = Tensor::zeros(m, n);
         if out.is_empty() {
             return out;
@@ -55,10 +68,24 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let chunk_rows = row_chunk_len(m, m * k * n);
+        if kernels::has_fma() {
+            // Pack B once per call; every row chunk reads the same panels.
+            kernels::with_pack_scratch(|pb| {
+                kernels::pack_b_from_nn(b, k, n, pb);
+                let pb: &[f32] = pb;
+                miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |_, start, c| {
+                    let r0 = start / n;
+                    let rows = c.len() / n;
+                    kernels::gemm_fma_rowmajor(&a[r0 * k..(r0 + rows) * k], pb, c, rows, k, n, &ep);
+                });
+            });
+            return out;
+        }
         miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |_, start, c| {
             let r0 = start / n;
             let rows = c.len() / n;
             kernels::gemm_nn(&a[r0 * k..(r0 + rows) * k], b, c, rows, k, n);
+            kernels::apply_epilogue(c, n, &ep);
         });
         out
     }
@@ -75,6 +102,28 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let chunk_rows = row_chunk_len(m, m * k * n);
+        if kernels::has_fma() {
+            // The transposing pack produces bytes identical to packing the
+            // equivalent row-major B, so nt and nn agree bitwise.
+            kernels::with_pack_scratch(|pb| {
+                kernels::pack_b_from_nt(b, n, k, pb);
+                let pb: &[f32] = pb;
+                miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |_, start, c| {
+                    let r0 = start / n;
+                    let rows = c.len() / n;
+                    kernels::gemm_fma_rowmajor(
+                        &a[r0 * k..(r0 + rows) * k],
+                        pb,
+                        c,
+                        rows,
+                        k,
+                        n,
+                        &GemmEpilogue::None,
+                    );
+                });
+            });
+            return out;
+        }
         miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |_, start, c| {
             let r0 = start / n;
             let rows = c.len() / n;
@@ -95,6 +144,18 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let chunk_rows = row_chunk_len(m, m * k * n);
+        if kernels::has_fma() {
+            kernels::with_pack_scratch(|pb| {
+                kernels::pack_b_from_nn(b, k, n, pb);
+                let pb: &[f32] = pb;
+                miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |_, start, c| {
+                    let i0 = start / n;
+                    let i1 = i0 + c.len() / n;
+                    kernels::gemm_fma_colmajor(a, pb, c, i0, i1, k, m, n, &GemmEpilogue::None);
+                });
+            });
+            return out;
+        }
         miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |_, start, c| {
             let i0 = start / n;
             let i1 = i0 + c.len() / n;
@@ -121,19 +182,23 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let chunk_blocks = block_chunk_len(blocks, blocks * p * q * k);
+        let fma = kernels::has_fma();
         miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_blocks * p * q, |_, start, c| {
             let blk0 = start / (p * q);
-            for (bi, cblk) in c.chunks_exact_mut(p * q).enumerate() {
-                let blk = blk0 + bi;
-                kernels::gemm_nt(
-                    &a[blk * p * k..(blk + 1) * p * k],
-                    &b[blk * q * k..(blk + 1) * q * k],
-                    cblk,
-                    p,
-                    k,
-                    q,
-                );
-            }
+            // Each worker thread reuses its own pack scratch across blocks.
+            kernels::with_pack_scratch(|pb| {
+                for (bi, cblk) in c.chunks_exact_mut(p * q).enumerate() {
+                    let blk = blk0 + bi;
+                    let ablk = &a[blk * p * k..(blk + 1) * p * k];
+                    let bblk = &b[blk * q * k..(blk + 1) * q * k];
+                    if fma {
+                        kernels::pack_b_from_nt(bblk, q, k, pb);
+                        kernels::gemm_fma_rowmajor(ablk, pb, cblk, p, k, q, &GemmEpilogue::None);
+                    } else {
+                        kernels::gemm_nt(ablk, bblk, cblk, p, k, q);
+                    }
+                }
+            });
         });
         out
     }
@@ -154,19 +219,22 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let chunk_blocks = block_chunk_len(blocks, blocks * p * q * k);
+        let fma = kernels::has_fma();
         miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_blocks * p * k, |_, start, c| {
             let blk0 = start / (p * k);
-            for (bi, cblk) in c.chunks_exact_mut(p * k).enumerate() {
-                let blk = blk0 + bi;
-                kernels::gemm_nn(
-                    &a[blk * p * q..(blk + 1) * p * q],
-                    &b[blk * q * k..(blk + 1) * q * k],
-                    cblk,
-                    p,
-                    q,
-                    k,
-                );
-            }
+            kernels::with_pack_scratch(|pb| {
+                for (bi, cblk) in c.chunks_exact_mut(p * k).enumerate() {
+                    let blk = blk0 + bi;
+                    let ablk = &a[blk * p * q..(blk + 1) * p * q];
+                    let bblk = &b[blk * q * k..(blk + 1) * q * k];
+                    if fma {
+                        kernels::pack_b_from_nn(bblk, q, k, pb);
+                        kernels::gemm_fma_rowmajor(ablk, pb, cblk, p, q, k, &GemmEpilogue::None);
+                    } else {
+                        kernels::gemm_nn(ablk, bblk, cblk, p, q, k);
+                    }
+                }
+            });
         });
         out
     }
@@ -187,21 +255,32 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let chunk_blocks = block_chunk_len(blocks, blocks * p * q * k);
+        let fma = kernels::has_fma();
         miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_blocks * q * k, |_, start, c| {
             let blk0 = start / (q * k);
-            for (bi, cblk) in c.chunks_exact_mut(q * k).enumerate() {
-                let blk = blk0 + bi;
-                kernels::gemm_tn(
-                    &a[blk * p * q..(blk + 1) * p * q],
-                    &b[blk * p * k..(blk + 1) * p * k],
-                    cblk,
-                    0,
-                    q,
-                    p,
-                    q,
-                    k,
-                );
-            }
+            kernels::with_pack_scratch(|pb| {
+                for (bi, cblk) in c.chunks_exact_mut(q * k).enumerate() {
+                    let blk = blk0 + bi;
+                    let ablk = &a[blk * p * q..(blk + 1) * p * q];
+                    let bblk = &b[blk * p * k..(blk + 1) * p * k];
+                    if fma {
+                        kernels::pack_b_from_nn(bblk, p, k, pb);
+                        kernels::gemm_fma_colmajor(
+                            ablk,
+                            pb,
+                            cblk,
+                            0,
+                            q,
+                            p,
+                            q,
+                            k,
+                            &GemmEpilogue::None,
+                        );
+                    } else {
+                        kernels::gemm_tn(ablk, bblk, cblk, 0, q, p, q, k);
+                    }
+                }
+            });
         });
         out
     }

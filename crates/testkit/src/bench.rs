@@ -46,6 +46,7 @@ pub struct BenchGroup {
     name: String,
     samples: usize,
     results: Vec<CaseStats>,
+    meta: Vec<(String, String)>,
 }
 
 /// Passed to each case closure; call [`Bencher::iter`] with the payload.
@@ -78,7 +79,20 @@ impl BenchGroup {
             name: name.to_string(),
             samples: 50,
             results: Vec::new(),
+            meta: Vec::new(),
         }
+    }
+
+    /// Record a key/value pair in the JSON's `"meta"` object — the run's
+    /// detected ISA, thread count, and similar environment facts, so
+    /// baselines can be compared like-to-like. Insertion order is kept;
+    /// re-setting a key overwrites its value.
+    pub fn meta(&mut self, key: &str, value: &str) -> &mut Self {
+        match self.meta.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value.to_string(),
+            None => self.meta.push((key.to_string(), value.to_string())),
+        }
+        self
     }
 
     /// Set the number of timed iterations per case (`TESTKIT_BENCH_SAMPLES`
@@ -143,6 +157,14 @@ impl BenchGroup {
         out.push_str(&format!("  \"group\": \"{}\",\n", escape(&self.name)));
         out.push_str("  \"unit\": \"ns_per_iter\",\n");
         out.push_str(&format!("  \"samples\": {},\n", self.resolved_samples()));
+        if !self.meta.is_empty() {
+            out.push_str("  \"meta\": {");
+            for (i, (k, v)) in self.meta.iter().enumerate() {
+                let comma = if i + 1 < self.meta.len() { ", " } else { "" };
+                out.push_str(&format!("\"{}\": \"{}\"{comma}", escape(k), escape(v)));
+            }
+            out.push_str("},\n");
+        }
         out.push_str("  \"cases\": [\n");
         for (i, c) in self.results.iter().enumerate() {
             out.push_str(&format!(
@@ -237,6 +259,7 @@ mod tests {
     #[test]
     fn json_shape_is_machine_readable() {
         let mut g = BenchGroup::new("unit");
+        g.meta("isa", "avx2+fma").meta("threads", "4").meta("isa", "avx2+fma");
         g.results.push(CaseStats {
             name: "alpha".into(),
             iters: 3,
@@ -249,6 +272,8 @@ mod tests {
         let json = g.to_json();
         assert!(json.contains("\"group\": \"unit\""));
         assert!(json.contains("\"samples\": "));
+        // meta keys keep insertion order; the duplicate set overwrote in place
+        assert!(json.contains("\"meta\": {\"isa\": \"avx2+fma\", \"threads\": \"4\"}"));
         assert!(json.contains("\"name\": \"alpha\""));
         assert!(json.contains("\"median_ns\": 10"));
         assert!(json.contains("\"p95_ns\": 12"));

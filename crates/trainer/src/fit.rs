@@ -35,7 +35,21 @@ pub struct TrainConfig {
     /// (see [`micro_batch_len`]), so any value produces bitwise-identical
     /// weights — only task granularity (and hence load balance) changes.
     pub micro_batches_per_task: usize,
+    /// Minibatches with fewer rows than this run as a single micro-batch on
+    /// the caller's thread (no sharding, no gradient merge): below the
+    /// measured crossover the per-shard graph and reduction overhead costs
+    /// more than the parallelism returns. Like [`micro_batch_len`] this is a
+    /// pure function of the minibatch size and the config — never of the
+    /// thread count — so determinism across `MISS_THREADS` is unaffected.
+    /// The default is the crossover measured by the `train_epoch_*` bench
+    /// sweep (see `BENCH_training.json`); `usize::MAX` forces every
+    /// minibatch serial, `0` forces sharding.
+    pub parallel_min_rows: usize,
 }
+
+/// Default for [`TrainConfig::parallel_min_rows`]: the smallest swept
+/// minibatch at which the sharded path beat the unsharded one.
+pub const PARALLEL_MIN_ROWS_DEFAULT: usize = 256;
 
 impl Default for TrainConfig {
     fn default() -> Self {
@@ -48,6 +62,7 @@ impl Default for TrainConfig {
             seed: 0,
             extra_loss_weight: 0.5,
             micro_batches_per_task: 1,
+            parallel_min_rows: PARALLEL_MIN_ROWS_DEFAULT,
         }
     }
 }
@@ -142,11 +157,23 @@ pub fn train_epoch(
     let extra_loss_weight = cfg.extra_loss_weight;
     let mut slots: Vec<TrainSlot> = Vec::new();
 
+    // Reused across minibatches: the flattened micro outputs and the
+    // (into, from) Var pairs the tree merge maps gradients through.
+    let mut flat: Vec<Option<MicroOut>> = Vec::new();
+    let mut pairs: Vec<(Var, Var)> = Vec::new();
+
     let mut pos = 0usize;
     while pos < order.len() {
         let end = (pos + cfg.batch_size).min(order.len());
         let mb_rows = end - pos;
-        let micro_len = micro_batch_len(mb_rows);
+        // Adaptive sizing: below the measured crossover the whole minibatch
+        // is one micro, which `run_tasks` then executes inline on the
+        // caller's thread — the true serial path, not a 1-thread pool trip.
+        let micro_len = if mb_rows < cfg.parallel_min_rows {
+            mb_rows
+        } else {
+            micro_batch_len(mb_rows)
+        };
         let n_micros = mb_rows.div_ceil(micro_len);
         let n_tasks = n_micros.div_ceil(group);
         while slots.len() < n_tasks {
@@ -172,6 +199,7 @@ pub fn train_epoch(
         }
 
         let store_ref: &ParamStore = store;
+        let shard_scope = miss_util::profile::scope("train/forward_backward");
         par_for_each_mut(&mut slots[..n_tasks], |_, slot| {
             for job in slot.jobs.iter_mut() {
                 let batch = Batch::from_samples(&job.refs, schema);
@@ -222,33 +250,58 @@ pub fn train_epoch(
                 slot.outs.push(out);
             }
         });
+        drop(shard_scope);
 
-        // Ordered reduction: fold the micro gradients in micro index order
-        // (tasks hold consecutive micros, so slot order is micro order).
-        let mut merged: Option<(Grads, Vec<(DenseId, Var)>)> = None;
+        // Ordered reduction, pairwise in a fixed tree: flatten the outputs
+        // into micro index order (tasks hold consecutive micros, so slot
+        // order is micro order), then merge adjacent survivors at doubling
+        // gaps — (0,1)(2,3)… then (0,2)(4,6)… then (0,4)… The shape of the
+        // tree is a pure function of the micro count, never the thread
+        // count, and adjacent-pair merging keeps the concatenated sparse
+        // gradient stream in micro order, same as the old left fold.
+        let merge_scope = miss_util::profile::scope("train/merge");
+        flat.clear();
         let mut batch_loss = 0.0f64;
         for slot in slots[..n_tasks].iter_mut() {
             for out in slot.outs.drain(..) {
-                let Some(out) = out else { continue };
-                batch_loss += out.loss;
-                match &mut merged {
-                    None => merged = Some((out.grads, out.bindings)),
-                    Some((acc, base)) => {
-                        let pairs: Vec<(Var, Var)> = base
-                            .iter()
-                            .zip(&out.bindings)
-                            .map(|(&(ia, va), &(ib, vb))| {
-                                assert_eq!(ia, ib, "micro-batches disagree on binding order");
-                                (va, vb)
-                            })
-                            .collect();
-                        acc.merge_ordered(out.grads, &pairs);
-                    }
+                if let Some(out) = &out {
+                    batch_loss += out.loss;
                 }
+                flat.push(out);
             }
         }
-        if let Some((grads, bindings)) = merged {
-            adam.step_with_bindings(store, &bindings, grads);
+        // Every micro binds the dense params in store order on a freshly
+        // reset graph, so the Var bindings are identical across micros; one
+        // (into, from) list serves every merge in the tree. Verified here.
+        pairs.clear();
+        if let Some(first) = flat.iter().flatten().next() {
+            pairs.extend(first.bindings.iter().map(|&(_, v)| (v, v)));
+            for out in flat.iter().flatten() {
+                assert_eq!(
+                    first.bindings, out.bindings,
+                    "micro-batches disagree on binding order"
+                );
+            }
+        }
+        let mut gap = 1;
+        while gap < flat.len() {
+            let mut i = 0;
+            while i + gap < flat.len() {
+                if let Some(right) = flat[i + gap].take() {
+                    match &mut flat[i] {
+                        Some(left) => left.grads.merge_ordered(right.grads, &pairs),
+                        slot @ None => *slot = Some(right),
+                    }
+                }
+                i += gap * 2;
+            }
+            gap *= 2;
+        }
+        drop(merge_scope);
+        if let Some(merged) = flat.first_mut().and_then(Option::take) {
+            let step_scope = miss_util::profile::scope("train/adam");
+            adam.step_with_bindings(store, &merged.bindings, merged.grads);
+            drop(step_scope);
             total += batch_loss;
             batches += 1;
         }
@@ -388,6 +441,57 @@ mod tests {
         let miss = Miss::new(&mut store, model.embedding(), MissConfig::default(), &mut rng);
         let out = fit_pretrain(&model, &miss, &mut store, &dataset, &quick_cfg(8), 2);
         assert!(out.test.auc > 0.55, "MISS-Pre AUC {}", out.test.auc);
+    }
+
+    /// The sharded path is adaptive now (minibatches below
+    /// `parallel_min_rows` run unsharded), so force sharding and pin the
+    /// tree-merge reduction's bit-identity across thread counts and task
+    /// groupings — the invariants the old left-fold guaranteed.
+    #[test]
+    fn forced_sharding_bit_identical_across_threads_and_grouping() {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 17);
+        let run = |threads: usize, group: usize| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(9);
+            let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+            let mut cfg = quick_cfg(9);
+            cfg.parallel_min_rows = 0; // every minibatch shards
+            cfg.micro_batches_per_task = group;
+            let mut adam = Adam::new(cfg.lr, cfg.l2);
+            let mut epoch_rng = Rng::new(cfg.seed);
+            miss_parallel::with_threads(threads, || {
+                let loss = train_epoch(
+                    &model, None, &mut store, &mut adam, &dataset, &cfg, &mut epoch_rng, true,
+                );
+                (loss.to_bits(), store.params_fingerprint())
+            })
+        };
+        let base = run(1, 1);
+        for (threads, group) in [(2, 1), (4, 1), (4, 1024), (2, 2)] {
+            assert_eq!(base, run(threads, group), "sharded @{threads}t group {group}");
+        }
+    }
+
+    /// `parallel_min_rows` above the batch size and `usize::MAX` are the
+    /// same serial path: the fallback is exact, not approximate.
+    #[test]
+    fn serial_fallback_is_exactly_the_unsharded_path() {
+        let dataset = Dataset::generate(WorldConfig::tiny(), 19);
+        let run = |min_rows: usize| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(3);
+            let model = Din::new(&mut store, &dataset.schema, &ModelConfig::default(), &mut rng);
+            let mut cfg = quick_cfg(3);
+            cfg.parallel_min_rows = min_rows;
+            let mut adam = Adam::new(cfg.lr, cfg.l2);
+            let mut epoch_rng = Rng::new(cfg.seed);
+            let loss = train_epoch(
+                &model, None, &mut store, &mut adam, &dataset, &cfg, &mut epoch_rng, true,
+            );
+            (loss.to_bits(), store.params_fingerprint())
+        };
+        // quick_cfg batches are 64 rows; both values exceed that.
+        assert_eq!(run(65), run(usize::MAX));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 mod error;
 mod math;
 mod order;
+pub mod profile;
 mod rng;
 mod sample;
 mod stats;

@@ -7,63 +7,166 @@ The baseline may be a single-group document (`{"group": ..., "cases":
 [...]}`) or a multi-group one (`{"groups": [<single-group doc>, ...]}`);
 case names are unique across groups, so both flatten to one name->median
 map. A fresh file is always a single group, so gating it against the full
-baseline only compares the cases that group produced — cases from *other*
-groups print as retired-case notes, which never fail the gate.
+baseline only compares the cases that group produced. Cases present on one
+side only — a renamed sweep, a retired case, a case added mid-PR — print a
+named warning and never fail the gate, so the case set can evolve without
+breaking CI between the rename and the baseline refresh.
 
 Medians on a busy CI box are noisy; the tolerance is deliberately loose so
 the gate catches real regressions (a lost tiling path, an accidental
-serial fallback) rather than scheduler jitter. New cases (present in the
-fresh run only) and retired cases (baseline only) are reported but never
-fail the gate. `--require <case>` makes a named case's *presence* in the
-fresh run mandatory (e.g. the parallel training case), independent of its
-timing.
+serial fallback) rather than scheduler jitter.
+
+Gate flags:
+  --require <case>          the named case must be present in the fresh run
+  --require-faster <a> <b>  fresh median of <a> must beat fresh median of <b>
+  --max-ratio <case> <r>    fresh/baseline median of <case> must be <= r
+                            (r < 1 demands an improvement, e.g. 0.75 locks
+                            in a >= 25% speedup over the committed baseline)
+
+Baseline maintenance:
+  scripts/check_bench.py --update-baseline <baseline.json> <fresh.json>...
+                            replace each fresh file's group inside the
+                            baseline (other groups are kept verbatim)
 
 Usage: scripts/check_bench.py <fresh.json> <baseline.json> [tolerance]
                               [--require <case>]...
+                              [--require-faster <a> <b>]...
+                              [--max-ratio <case> <r>]...
+       scripts/check_bench.py --update-baseline <baseline.json> <fresh.json>...
 """
 
 import json
 import sys
 
 
-def medians(path):
+def load(path):
     with open(path) as f:
-        doc = json.load(f)
-    groups = doc["groups"] if "groups" in doc else [doc]
+        return json.load(f)
+
+
+def groups_of(doc):
+    return doc["groups"] if "groups" in doc else [doc]
+
+
+def medians(path, only_group=None):
+    """Flatten a bench document to {case name: median_ns}, with a named
+    warning (not a KeyError) for malformed groups or cases. With
+    `only_group`, groups under other names are skipped (with a note) so a
+    single-group fresh run is compared against its own baseline group, not
+    the whole multi-group document."""
     out = {}
-    for g in groups:
-        for c in g["cases"]:
+    for g in groups_of(load(path)):
+        gname = g.get("group", "<unnamed>")
+        if only_group is not None and gname != only_group:
+            print(f"note: skipping baseline group `{gname}` (gating group `{only_group}`)")
+            continue
+        for c in g.get("cases", []):
+            if "name" not in c or "median_ns" not in c:
+                print(f"warning: malformed case in group `{gname}` of {path}: {c}")
+                continue
             out[c["name"]] = c["median_ns"]
     return out
 
 
+def update_baseline(baseline_path, fresh_paths):
+    """Replace each fresh file's group in the baseline document, preserving
+    every other group. Creates the baseline if it does not exist."""
+    try:
+        base_doc = load(baseline_path)
+        groups = groups_of(base_doc)
+    except FileNotFoundError:
+        groups = []
+    for fresh_path in fresh_paths:
+        fresh = load(fresh_path)
+        if "groups" in fresh:
+            sys.exit(f"--update-baseline takes single-group files, got {fresh_path}")
+        name = fresh.get("group")
+        if not name:
+            sys.exit(f"{fresh_path} has no group name")
+        replaced = False
+        for i, g in enumerate(groups):
+            if g.get("group") == name:
+                groups[i] = fresh
+                replaced = True
+                break
+        if not replaced:
+            groups.append(fresh)
+        print(f"{'replaced' if replaced else 'added'} group `{name}` from {fresh_path}")
+    with open(baseline_path, "w") as f:
+        json.dump({"groups": groups}, f, indent=2)
+        f.write("\n")
+    print(f"wrote {baseline_path} ({len(groups)} groups)")
+
+
+def pop_flag(args, flag, nargs):
+    """Extract every occurrence of `flag` with its `nargs` values."""
+    found = []
+    while flag in args:
+        i = args.index(flag)
+        if i + nargs >= len(args):
+            sys.exit(f"{flag} needs {nargs} argument(s)")
+        found.append(tuple(args[i + 1 : i + 1 + nargs]))
+        del args[i : i + 1 + nargs]
+    return found
+
+
 def main():
     args = sys.argv[1:]
-    required = []
-    while "--require" in args:
-        i = args.index("--require")
-        if i + 1 >= len(args):
-            sys.exit("--require needs a case name")
-        required.append(args[i + 1])
-        del args[i : i + 2]
+    if args and args[0] == "--update-baseline":
+        if len(args) < 3:
+            sys.exit("--update-baseline needs <baseline.json> <fresh.json>...")
+        update_baseline(args[1], args[2:])
+        return
+
+    required = [a[0] for a in pop_flag(args, "--require", 1)]
+    faster = pop_flag(args, "--require-faster", 2)
+    ratios = [(case, float(r)) for case, r in pop_flag(args, "--max-ratio", 2)]
     if len(args) < 2:
         sys.exit(__doc__)
     fresh_path, base_path = args[0], args[1]
     tolerance = float(args[2]) if len(args) > 2 else 0.25
 
+    fresh_doc = load(fresh_path)
+    fresh_group = fresh_doc.get("group") if "groups" not in fresh_doc else None
     fresh = medians(fresh_path)
-    base = medians(base_path)
+    base = medians(base_path, only_group=fresh_group)
+    hard_errors = []
 
-    missing_required = [name for name in required if name not in fresh]
-    if missing_required:
-        for name in missing_required:
-            print(f"ERROR: required case `{name}` missing from {fresh_path}", file=sys.stderr)
-        sys.exit(1)
+    for name in required:
+        if name not in fresh:
+            hard_errors.append(f"required case `{name}` missing from {fresh_path}")
+
+    for a, b in faster:
+        if a not in fresh or b not in fresh:
+            missing = [n for n in (a, b) if n not in fresh]
+            hard_errors.append(
+                f"--require-faster case(s) {missing} missing from {fresh_path}"
+            )
+        elif fresh[a] >= fresh[b]:
+            hard_errors.append(
+                f"`{a}` (median {fresh[a]} ns) must beat `{b}` (median {fresh[b]} ns)"
+            )
+        else:
+            print(f"{a} beats {b}: {fresh[a]} < {fresh[b]} ns  ok")
+
+    for case, r in ratios:
+        if case not in fresh:
+            hard_errors.append(f"--max-ratio case `{case}` missing from {fresh_path}")
+        elif case not in base:
+            hard_errors.append(f"--max-ratio case `{case}` missing from {base_path}")
+        else:
+            ratio = fresh[case] / base[case] if base[case] else float("inf")
+            if ratio > r:
+                hard_errors.append(
+                    f"`{case}` at x{ratio:.2f} of baseline exceeds --max-ratio {r}"
+                )
+            else:
+                print(f"{case} x{ratio:.2f} <= {r}  ok")
 
     failures = []
     for name in sorted(base):
         if name not in fresh:
-            print(f"note: case `{name}` in baseline but not in fresh run")
+            print(f"warning: case `{name}` in baseline but missing from fresh run")
             continue
         b, f = base[name], fresh[name]
         ratio = f / b if b else float("inf")
@@ -73,12 +176,17 @@ def main():
             failures.append((name, b, f, ratio))
         print(f"{name:<36} baseline {b:>12} ns  fresh {f:>12} ns  x{ratio:.2f}  {status}")
     for name in sorted(set(fresh) - set(base)):
-        print(f"note: new case `{name}` (median {fresh[name]} ns), not gated")
+        print(f"warning: new case `{name}` (median {fresh[name]} ns), not in baseline — not gated")
 
+    if hard_errors:
+        print(f"\n{len(hard_errors)} gate condition(s) failed:", file=sys.stderr)
+        for msg in hard_errors:
+            print(f"  ERROR: {msg}", file=sys.stderr)
     if failures:
         print(f"\n{len(failures)} case(s) regressed beyond {tolerance:.0%}:", file=sys.stderr)
         for name, b, f, ratio in failures:
             print(f"  {name}: {b} -> {f} ns (x{ratio:.2f})", file=sys.stderr)
+    if hard_errors or failures:
         sys.exit(1)
     print(f"\nbench gate passed ({len(base)} baseline cases, tolerance {tolerance:.0%})")
 

@@ -73,11 +73,18 @@ for f in BENCH_kernels.json BENCH_training_step.json BENCH_training.json BENCH_d
 done
 [[ "$missing" -eq 0 ]] || exit 1
 
+# The kernels baseline deliberately still holds the pre-FMA medians: the
+# --max-ratio clause locks in the packed-FMA speedup (matmul_512x256x256
+# must stay >= 25% faster than that baseline, i.e. ratio <= 0.75).
 echo "==> bench gate: kernels medians vs bench_baseline.json"
-python3 scripts/check_bench.py BENCH_kernels.json bench_baseline.json 0.25
+python3 scripts/check_bench.py BENCH_kernels.json bench_baseline.json 0.25 \
+    --max-ratio matmul_512x256x256 0.75
 
+# The training sweep gate: the adaptive sharded path must beat the forced
+# serial path at the largest swept minibatch (the crossover contract).
 echo "==> bench gate: training medians vs bench_baseline.json"
 python3 scripts/check_bench.py BENCH_training.json bench_baseline.json 0.25 \
-    --require train_epoch_parallel
+    --require train_epoch_parallel_b4096 \
+    --require-faster train_epoch_parallel_b4096 train_epoch_serial_b4096
 
 echo "==> OK: build, tests (both thread modes), determinism suite, benches and bench gates green offline"
