@@ -177,16 +177,127 @@ pub fn save_to_vec(
     Ok(out)
 }
 
-/// [`save`] to a file path (buffered).
+/// The sibling temp path an atomic [`save_to_path`] stages into:
+/// `<path>.tmp`, always on the same filesystem so the final rename is atomic.
+pub fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
+/// Stage the full checkpoint into `tmp` and force it to stable storage.
+fn write_and_sync(
+    tmp: &Path,
+    store: &ParamStore,
+    progress: Option<&TrainProgress>,
+) -> Result<(), MissError> {
+    let file = std::fs::File::create(tmp)?;
+    let mut fw = crate::faultio::FaultWriter::new(file);
+    {
+        let mut bw = std::io::BufWriter::new(&mut fw);
+        save(&mut bw, store, progress)?;
+        bw.flush()?;
+    }
+    // The data must be durable *before* the rename publishes it; otherwise a
+    // power loss could leave a fully-named but hollow checkpoint.
+    fw.get_ref().sync_all()?;
+    Ok(())
+}
+
+/// [`save`] to a file path, atomically.
+///
+/// The bytes are staged into [`tmp_sibling`]`(path)`, flushed, `sync_all`ed,
+/// and only then renamed over `path`. A crash (or injected fault) at *any*
+/// byte offset of the write therefore leaves `path` either untouched (old
+/// valid checkpoint, or absent on a first save) — never a torn file. The
+/// temp file is removed on failure.
 pub fn save_to_path(
     path: &Path,
     store: &ParamStore,
     progress: Option<&TrainProgress>,
 ) -> Result<(), MissError> {
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    save(&mut f, store, progress)?;
-    f.flush()?;
-    Ok(())
+    let tmp = tmp_sibling(path);
+    let staged = write_and_sync(&tmp, store, progress);
+    match staged {
+        Ok(()) => match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(MissError::Io(e))
+            }
+        },
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Bounded, deterministic retry schedule for checkpoint I/O.
+///
+/// Backoff is a *fixed* table of sleeps (no clocks are read — miss-audit's
+/// no-wallclock rule holds), so retried runs behave identically everywhere.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). Clamped to at least 1.
+    pub attempts: u32,
+    /// Sleep before retry k (1-based) is `backoff_ms[k-1]`, saturating at
+    /// the last entry. Empty means retry immediately.
+    pub backoff_ms: Vec<u64>,
+}
+
+impl Default for RetryPolicy {
+    /// 3 attempts, sleeping 1ms then 5ms between them (DESIGN.md §9).
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            backoff_ms: vec![1, 5],
+        }
+    }
+}
+
+/// [`save_to_path`] with bounded retry on **I/O errors only**.
+///
+/// Transient-class failures (`MissError::Io`) are retried up to
+/// `policy.attempts` times with the fixed `policy.backoff_ms` schedule; each
+/// failed attempt logs one line to stderr. Any other error class is
+/// permanent (a bug or corruption, not weather) and returns immediately.
+/// Atomicity is per attempt, so a retried save never exposes a torn file.
+pub fn save_to_path_retrying(
+    path: &Path,
+    store: &ParamStore,
+    progress: Option<&TrainProgress>,
+    policy: &RetryPolicy,
+) -> Result<(), MissError> {
+    let attempts = policy.attempts.max(1);
+    let mut last: Option<MissError> = None;
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            let ms = policy
+                .backoff_ms
+                .get(attempt as usize - 2)
+                .or(policy.backoff_ms.last())
+                .copied()
+                .unwrap_or(0);
+            if ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+        match save_to_path(path, store, progress) {
+            Ok(()) => return Ok(()),
+            Err(MissError::Io(e)) => {
+                eprintln!(
+                    "miss-codec: checkpoint write to {} failed (attempt {attempt}/{attempts}): {e}",
+                    path.display()
+                );
+                last = Some(MissError::Io(e));
+            }
+            Err(permanent) => return Err(permanent),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        MissError::Io(std::io::Error::other("retry loop exited without an error"))
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -472,12 +583,14 @@ pub fn load_from_slice(
     load(&mut r, store)
 }
 
-/// [`load`] from a file path (buffered).
+/// [`load`] from a file path (buffered, read faults injectable via the
+/// `codec.read.*` fail-point sites).
 pub fn load_from_path(
     path: &Path,
     store: &mut ParamStore,
 ) -> Result<Option<TrainProgress>, MissError> {
-    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let file = crate::faultio::FaultReader::new(std::fs::File::open(path)?);
+    let mut f = std::io::BufReader::new(file);
     load(&mut f, store)
 }
 

@@ -1,0 +1,239 @@
+//! Fail-point I/O adapters: every byte of checkpoint path I/O flows through
+//! these wrappers, so the `miss-fault` registry can deliver byte-precise,
+//! deterministic failures — a hard error after exactly N bytes, one short
+//! write, an `ErrorKind::Interrupted` on the N-th call — without touching
+//! the codec logic itself.
+//!
+//! With no fault plan active every probe is a thread-local `None` check at
+//! construction plus one branch per (buffered) I/O call; the wrappers add no
+//! measurable cost to checkpoint I/O.
+//!
+//! Sites consulted (units per the miss-fault site table):
+//!
+//! - `codec.write.err` — byte offset: the first `write` at or past the
+//!   offset fails hard with `ErrorKind::Other` ("injected write failure");
+//!   bytes before the offset are written, simulating a crash mid-file.
+//! - `codec.write.short` — byte offset: the write crossing the offset is
+//!   truncated there (one-shot, `Ok(partial)`), exercising callers'
+//!   `write_all` loops.
+//! - `codec.write.interrupt` — call count: the N-th `write` call returns
+//!   `ErrorKind::Interrupted` (which `write_all` must retry, not fail).
+//! - `codec.read.err` / `codec.read.interrupt` — the read-side mirrors.
+
+use std::io::{self, Read, Write};
+
+/// Site names, collected so the DESIGN.md catalogue and the code can't
+/// drift apart silently.
+pub const SITE_WRITE_ERR: &str = "codec.write.err";
+/// See [`SITE_WRITE_ERR`].
+pub const SITE_WRITE_SHORT: &str = "codec.write.short";
+/// See [`SITE_WRITE_ERR`].
+pub const SITE_WRITE_INTERRUPT: &str = "codec.write.interrupt";
+/// See [`SITE_WRITE_ERR`].
+pub const SITE_READ_ERR: &str = "codec.read.err";
+/// See [`SITE_WRITE_ERR`].
+pub const SITE_READ_INTERRUPT: &str = "codec.read.interrupt";
+
+/// A `Write` adapter that delivers planned write faults at exact byte
+/// offsets. Transparent (and branch-cheap) when no plan arms its sites.
+pub struct FaultWriter<W: Write> {
+    inner: W,
+    written: u64,
+    err_at: Option<u64>,
+    short_at: Option<u64>,
+    /// Hard fault already delivered by *this* instance: keep failing (a dead
+    /// handle stays dead) but count only one registry fire, even when a
+    /// `BufWriter` drop re-flushes after the error.
+    tripped: bool,
+}
+
+impl<W: Write> FaultWriter<W> {
+    /// Wrap `inner`, arming this writer from the active fault plan.
+    pub fn new(inner: W) -> FaultWriter<W> {
+        FaultWriter {
+            inner,
+            written: 0,
+            err_at: miss_fault::armed(SITE_WRITE_ERR),
+            short_at: miss_fault::armed(SITE_WRITE_SHORT),
+            tripped: false,
+        }
+    }
+
+    /// The wrapped writer (e.g. to `sync_all` the underlying file).
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    /// Total bytes successfully forwarded to the inner writer.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl<W: Write> Write for FaultWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if miss_fault::hit(SITE_WRITE_INTERRUPT) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected write interrupt",
+            ));
+        }
+        if let Some(off) = self.err_at {
+            if self.written >= off {
+                if !self.tripped {
+                    self.tripped = true;
+                    miss_fault::fire(SITE_WRITE_ERR);
+                }
+                return Err(io::Error::other(format!(
+                    "injected write failure after {off} bytes"
+                )));
+            }
+            if self.written + buf.len() as u64 > off {
+                // Deliver the bytes up to the fail offset; the *next* call
+                // hits the branch above — a crash mid-file, byte-exact.
+                let k = (off - self.written) as usize;
+                let n = self.inner.write(&buf[..k])?;
+                self.written += n as u64;
+                return Ok(n);
+            }
+        }
+        if let Some(off) = self.short_at {
+            if self.written < off && self.written + buf.len() as u64 > off {
+                let k = (off - self.written) as usize;
+                miss_fault::fire(SITE_WRITE_SHORT);
+                self.short_at = None;
+                let n = self.inner.write(&buf[..k])?;
+                self.written += n as u64;
+                return Ok(n);
+            }
+        }
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The read-side mirror of [`FaultWriter`]: hard error at a byte offset,
+/// or an `Interrupted` on the N-th read call.
+pub struct FaultReader<R: Read> {
+    inner: R,
+    read: u64,
+    err_at: Option<u64>,
+}
+
+impl<R: Read> FaultReader<R> {
+    /// Wrap `inner`, arming this reader from the active fault plan.
+    pub fn new(inner: R) -> FaultReader<R> {
+        FaultReader {
+            inner,
+            read: 0,
+            err_at: miss_fault::armed(SITE_READ_ERR),
+        }
+    }
+}
+
+impl<R: Read> Read for FaultReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if miss_fault::hit(SITE_READ_INTERRUPT) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected read interrupt",
+            ));
+        }
+        if let Some(off) = self.err_at {
+            if self.read >= off {
+                miss_fault::fire(SITE_READ_ERR);
+                return Err(io::Error::other(format!(
+                    "injected read failure after {off} bytes"
+                )));
+            }
+            let cap = ((off - self.read) as usize).min(buf.len());
+            let n = self.inner.read(&mut buf[..cap])?;
+            self.read += n as u64;
+            return Ok(n);
+        }
+        let n = self.inner.read(buf)?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miss_fault::{with_plan, FaultPlan};
+
+    #[test]
+    fn write_err_fires_byte_exactly_and_consumes() {
+        with_plan(FaultPlan::empty().arm(SITE_WRITE_ERR, 5), || {
+            let mut sink = Vec::new();
+            let mut w = FaultWriter::new(&mut sink);
+            let err = w.write_all(b"0123456789").expect_err("must fail at 5");
+            assert_eq!(err.kind(), io::ErrorKind::Other);
+            assert_eq!(sink, b"01234", "exactly 5 bytes must land");
+            // One-shot: a fresh writer after the fire is transparent.
+            let mut sink2 = Vec::new();
+            let mut w2 = FaultWriter::new(&mut sink2);
+            w2.write_all(b"0123456789").expect("disarmed");
+            assert_eq!(sink2.len(), 10);
+        });
+    }
+
+    #[test]
+    fn short_write_is_survived_by_write_all() {
+        with_plan(FaultPlan::empty().arm(SITE_WRITE_SHORT, 3), || {
+            let mut sink = Vec::new();
+            let mut w = FaultWriter::new(&mut sink);
+            w.write_all(b"0123456789").expect("write_all retries the tail");
+            assert_eq!(sink, b"0123456789");
+        });
+    }
+
+    #[test]
+    fn interrupt_is_survived_by_write_all_and_read_to_end() {
+        with_plan(
+            FaultPlan::empty()
+                .arm(SITE_WRITE_INTERRUPT, 1)
+                .arm(SITE_READ_INTERRUPT, 1),
+            || {
+                let mut sink = Vec::new();
+                let mut w = FaultWriter::new(&mut sink);
+                w.write_all(b"abc").expect("write_all retries Interrupted");
+                assert_eq!(sink, b"abc");
+
+                let mut out = Vec::new();
+                let mut r = FaultReader::new(&b"xyz"[..]);
+                r.read_to_end(&mut out).expect("read_to_end retries");
+                assert_eq!(out, b"xyz");
+            },
+        );
+    }
+
+    #[test]
+    fn read_err_fires_byte_exactly() {
+        with_plan(FaultPlan::empty().arm(SITE_READ_ERR, 2), || {
+            let mut out = Vec::new();
+            let mut r = FaultReader::new(&b"abcdef"[..]);
+            let err = r.read_to_end(&mut out).expect_err("must fail at 2");
+            assert_eq!(err.kind(), io::ErrorKind::Other);
+            assert_eq!(out, b"ab");
+        });
+    }
+
+    #[test]
+    fn unarmed_wrappers_are_transparent() {
+        let mut sink = Vec::new();
+        let mut w = FaultWriter::new(&mut sink);
+        w.write_all(b"hello").expect("no faults armed");
+        assert_eq!(w.bytes_written(), 5);
+        let mut out = Vec::new();
+        FaultReader::new(&b"hello"[..])
+            .read_to_end(&mut out)
+            .expect("no faults armed");
+        assert_eq!(out, b"hello");
+    }
+}

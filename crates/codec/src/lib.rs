@@ -22,12 +22,14 @@
 //! See DESIGN.md §8 for the wire diagram and the error taxonomy.
 
 mod checkpoint;
+mod faultio;
 mod wire;
 
 pub use checkpoint::{
-    layout, load, load_from_path, load_from_slice, save, save_to_path, save_to_vec, Layout,
-    SectionInfo, TrainProgress, FORMAT_VERSION, HEADER_FIXED_LEN, MAGIC, SECTION_ENTRY_LEN,
-    SECTION_MOMENTS, SECTION_PARAMS, SECTION_PROGRESS,
+    layout, load, load_from_path, load_from_slice, save, save_to_path, save_to_path_retrying,
+    save_to_vec, tmp_sibling, Layout, RetryPolicy, SectionInfo, TrainProgress, FORMAT_VERSION,
+    HEADER_FIXED_LEN, MAGIC, SECTION_ENTRY_LEN, SECTION_MOMENTS, SECTION_PARAMS, SECTION_PROGRESS,
 };
+pub use faultio::{FaultReader, FaultWriter};
 pub use miss_util::{MissError, MissResult};
 pub use wire::fnv1a;

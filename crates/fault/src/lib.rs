@@ -1,0 +1,467 @@
+//! `miss-fault` — a deterministic, zero-dependency fail-point registry.
+//!
+//! Faults in this workspace are **planned, counted events**, never entropy:
+//! a fail-point fires on the N-th hit of a named site (or at a named index
+//! inside a dispatch window), so every injected failure is bit-reproducible
+//! across runs, thread counts, and machines. Nothing here reads wall-clock
+//! time or OS randomness — the registry passes miss-audit's
+//! `no-wallclock-or-entropy` rule like any other crate.
+//!
+//! # Activating a plan
+//!
+//! Two ways, checked in order:
+//!
+//! 1. **Scoped (tests):** [`with_plan`] installs a [`FaultPlan`] for the
+//!    current thread for the duration of a closure. Counters start fresh per
+//!    installation, so concurrent tests never share state.
+//! 2. **Process-wide (CLI / chaos runs):** the `MISS_FAULTS` environment
+//!    variable, parsed once on first use. A malformed spec panics with the
+//!    parse error — fault injection is an operator feature; a typo must fail
+//!    loudly, not silently disable the chaos run.
+//!
+//! With neither active every probe is a thread-local `None` check — the
+//! disabled overhead is a few nanoseconds per *site*, and sites sit at
+//! per-minibatch / per-checkpoint granularity, never inside element loops.
+//!
+//! # Spec grammar
+//!
+//! ```text
+//! spec  := entry (',' entry)*
+//! entry := site '@' N ['+']
+//! site  := [a-z0-9._-]+           (ascii, case-sensitive)
+//! N     := decimal u64
+//! '+'   := sticky: fire on every qualifying probe from N on, not just once
+//! ```
+//!
+//! Example: `MISS_FAULTS=codec.write.err@100,trainer.nan.loss@3`
+//!
+//! How `N` is interpreted is a property of the *site* (each site documents
+//! its unit):
+//!
+//! | site                       | unit of N                 | effect when fired |
+//! |----------------------------|---------------------------|-------------------|
+//! | `codec.write.err`          | byte offset (0-based)     | hard I/O error after N bytes of a checkpoint write |
+//! | `codec.write.short`        | byte offset (0-based)     | one short write truncated at offset N |
+//! | `codec.write.interrupt`    | write call (1-based)      | `ErrorKind::Interrupted` on the N-th write call |
+//! | `codec.read.err`           | byte offset (0-based)     | hard I/O error after N bytes of a checkpoint read |
+//! | `codec.read.interrupt`     | read call (1-based)       | `ErrorKind::Interrupted` on the N-th read call |
+//! | `parallel.worker.panic`    | fallible-pool task index (0-based, cumulative) | worker panic inside the N-th contained task |
+//! | `trainer.nan.loss`         | minibatch attempt (1-based) | loss tensor scaled by NaN on that attempt |
+//! | `trainer.nan.grad`         | minibatch attempt (1-based) | NaN poked into the merged sparse gradient |
+//! | `trainer.batch.corrupt`    | minibatch attempt (1-based) | a label in the minibatch replaced with NaN |
+//!
+//! # Probe API (for code hosting a fail-point)
+//!
+//! - [`hit`] — counter sites: increments the site's hit counter and reports
+//!   whether this hit fires.
+//! - [`armed`] / [`fire`] — value sites (byte offsets): read the armed `N`
+//!   without consuming it; call [`fire`] when the fault is actually
+//!   delivered so one-shot entries disarm.
+//! - [`take_window`] — index-window sites: advance the site's cursor by a
+//!   dispatch's task count and learn whether the armed global index falls in
+//!   this window (returning the local index). Resolved on the dispatching
+//!   thread, so pool workers never touch the registry.
+//!
+//! All probes are no-ops returning `false`/`None` when no plan names the
+//! site.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// One parsed fail-point entry: fire at `n` on `site`, once or repeatedly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEntry {
+    /// Site name the entry arms.
+    pub site: String,
+    /// Trigger value; unit depends on the site (hit count, byte offset, …).
+    pub n: u64,
+    /// When true (`@N+`), fire on every qualifying probe from `n` on.
+    pub sticky: bool,
+}
+
+/// A parsed fault plan: the entries of one `MISS_FAULTS` spec.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    entries: Vec<FaultEntry>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no sites armed).
+    pub fn empty() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Parse a spec string (see the module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut entries = Vec::new();
+        for raw in spec.split(',') {
+            let part = raw.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((site, num)) = part.split_once('@') else {
+                return Err(format!("entry {part:?}: expected `site@N` or `site@N+`"));
+            };
+            if site.is_empty()
+                || !site
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(b, b'.' | b'_' | b'-'))
+            {
+                return Err(format!(
+                    "entry {part:?}: site must be non-empty [a-z0-9._-]+, got {site:?}"
+                ));
+            }
+            let (digits, sticky) = match num.strip_suffix('+') {
+                Some(d) => (d, true),
+                None => (num, false),
+            };
+            let n: u64 = digits
+                .parse()
+                .map_err(|_| format!("entry {part:?}: trigger {digits:?} is not a u64"))?;
+            if entries.iter().any(|e: &FaultEntry| e.site == site) {
+                return Err(format!("entry {part:?}: duplicate site {site:?}"));
+            }
+            entries.push(FaultEntry {
+                site: site.to_string(),
+                n,
+                sticky,
+            });
+        }
+        Ok(FaultPlan { entries })
+    }
+
+    /// Arm one more site (builder-style alternative to a spec string).
+    pub fn arm(mut self, site: &str, n: u64) -> FaultPlan {
+        self.entries.push(FaultEntry {
+            site: site.to_string(),
+            n,
+            sticky: false,
+        });
+        self
+    }
+
+    /// Arm a sticky site (`@N+`: fires on every qualifying probe from `n`).
+    pub fn arm_sticky(mut self, site: &str, n: u64) -> FaultPlan {
+        self.entries.push(FaultEntry {
+            site: site.to_string(),
+            n,
+            sticky: true,
+        });
+        self
+    }
+
+    /// The parsed entries.
+    pub fn entries(&self) -> &[FaultEntry] {
+        &self.entries
+    }
+
+    fn into_states(self) -> Vec<SiteState> {
+        self.entries
+            .into_iter()
+            .map(|e| SiteState {
+                entry: e,
+                hits: 0,
+                window: 0,
+                consumed: false,
+                fired: 0,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{}@{}{}", e.site, e.n, if e.sticky { "+" } else { "" })?;
+        }
+        Ok(())
+    }
+}
+
+/// Mutable per-installation state of one armed entry.
+#[derive(Debug)]
+struct SiteState {
+    entry: FaultEntry,
+    /// Probes counted by [`hit`].
+    hits: u64,
+    /// Cursor advanced by [`take_window`].
+    window: u64,
+    /// One-shot entry already delivered.
+    consumed: bool,
+    /// Times this entry actually fired (observability for tests).
+    fired: u64,
+}
+
+thread_local! {
+    /// Plan installed by [`with_plan`] on this thread (innermost wins).
+    static LOCAL: RefCell<Option<Vec<SiteState>>> = const { RefCell::new(None) };
+}
+
+/// Process-wide plan parsed from `MISS_FAULTS`, if the variable is set.
+fn global() -> Option<&'static Mutex<Vec<SiteState>>> {
+    static GLOBAL: OnceLock<Option<Mutex<Vec<SiteState>>>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| match std::env::var("MISS_FAULTS") {
+            Ok(spec) if !spec.trim().is_empty() => match FaultPlan::parse(&spec) {
+                Ok(plan) => Some(Mutex::new(plan.into_states())),
+                Err(e) => panic!("invalid MISS_FAULTS spec: {e}"),
+            },
+            _ => None,
+        })
+        .as_ref()
+}
+
+/// Run `probe` against the named site of the active plan (thread-local
+/// first, then the `MISS_FAULTS` global). `None` when no plan arms the site.
+fn with_site<R>(site: &str, probe: impl FnOnce(&mut SiteState) -> R) -> Option<R> {
+    enum Local<R> {
+        NoPlan,
+        NotArmed,
+        Ran(R),
+    }
+    let mut probe = Some(probe);
+    let local = LOCAL.with(|l| {
+        let mut guard = l.borrow_mut();
+        match guard.as_mut() {
+            // A thread-local plan shadows the global one entirely, even for
+            // sites it does not arm: scoped tests must be hermetic.
+            Some(states) => match states.iter_mut().find(|s| s.entry.site == site) {
+                Some(s) => match probe.take() {
+                    Some(p) => Local::Ran(p(s)),
+                    None => Local::NotArmed,
+                },
+                None => Local::NotArmed,
+            },
+            None => Local::NoPlan,
+        }
+    });
+    match local {
+        Local::Ran(r) => return Some(r),
+        Local::NotArmed => return None,
+        Local::NoPlan => {}
+    }
+    let probe = probe?;
+    let global = global()?;
+    let mut states = match global.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    states.iter_mut().find(|s| s.entry.site == site).map(probe)
+}
+
+/// Install `plan` for the current thread for the duration of `f`. Counters
+/// start at zero; any previously installed plan is restored afterwards.
+/// While installed, the plan shadows the `MISS_FAULTS` global completely.
+pub fn with_plan<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Vec<SiteState>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            LOCAL.with(|l| *l.borrow_mut() = prev);
+        }
+    }
+    let _guard = Restore(LOCAL.with(|l| l.borrow_mut().replace(plan.into_states())));
+    f()
+}
+
+/// True when any plan (scoped or `MISS_FAULTS`) is active for this thread.
+pub fn active() -> bool {
+    LOCAL.with(|l| l.borrow().is_some()) || global().is_some()
+}
+
+/// Counter probe: count one hit of `site` and report whether it fires —
+/// exactly at the N-th hit for one-shot entries, at every hit ≥ N for
+/// sticky ones. Hits are counted per *probe*, so a retried computation that
+/// probes again advances the counter again (one-shot faults therefore do
+/// not re-fire on the retry — that asymmetry is what makes fault-then-retry
+/// converge to the fault-free result).
+pub fn hit(site: &str) -> bool {
+    with_site(site, |s| {
+        s.hits += 1;
+        let fires = if s.entry.sticky {
+            s.hits >= s.entry.n
+        } else {
+            s.hits == s.entry.n
+        };
+        if fires {
+            s.fired += 1;
+        }
+        fires
+    })
+    .unwrap_or(false)
+}
+
+/// Value probe: the armed trigger value of `site`, if the entry has not been
+/// consumed. Does not count or consume — pair with [`fire`] at the moment
+/// the fault is actually delivered.
+pub fn armed(site: &str) -> Option<u64> {
+    with_site(site, |s| {
+        if s.consumed {
+            None
+        } else {
+            Some(s.entry.n)
+        }
+    })
+    .flatten()
+}
+
+/// Mark `site`'s fault as delivered: one-shot entries disarm, sticky ones
+/// stay armed.
+pub fn fire(site: &str) {
+    let _ = with_site(site, |s| {
+        s.fired += 1;
+        if !s.entry.sticky {
+            s.consumed = true;
+        }
+    });
+}
+
+/// Window probe: advance `site`'s cursor by `len` units (one dispatch's task
+/// count) and, when the armed global index `N` falls inside the window
+/// `[cursor, cursor + len)`, return the local index `N - cursor` and consume
+/// the entry (unless sticky). Call this on the *dispatching* thread so the
+/// resolved index can be captured by worker closures — workers themselves
+/// never touch the registry.
+pub fn take_window(site: &str, len: u64) -> Option<u64> {
+    with_site(site, |s| {
+        let base = s.window;
+        s.window += len;
+        if s.consumed || s.entry.n < base || s.entry.n >= base + len {
+            return None;
+        }
+        s.fired += 1;
+        if !s.entry.sticky {
+            s.consumed = true;
+        }
+        Some(s.entry.n - base)
+    })
+    .flatten()
+}
+
+/// How many times `site` has actually fired under the active plan
+/// (observability hook for chaos tests; 0 when the site is not armed).
+pub fn fired_count(site: &str) -> u64 {
+    with_site(site, |s| s.fired).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let p = FaultPlan::parse("codec.write.err@100,trainer.nan.loss@3+").unwrap();
+        assert_eq!(
+            p.entries(),
+            &[
+                FaultEntry {
+                    site: "codec.write.err".into(),
+                    n: 100,
+                    sticky: false
+                },
+                FaultEntry {
+                    site: "trainer.nan.loss".into(),
+                    n: 3,
+                    sticky: true
+                },
+            ]
+        );
+        assert_eq!(p.to_string(), "codec.write.err@100,trainer.nan.loss@3+");
+        // Whitespace and empty segments are tolerated.
+        let q = FaultPlan::parse(" a.b@1 , ,c-d_e@0+ ").unwrap();
+        assert_eq!(q.entries().len(), 2);
+        assert!(FaultPlan::parse("").unwrap().entries().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "noat",          // missing @N
+            "site@",         // empty trigger
+            "site@x",        // non-numeric
+            "site@1x",       // trailing garbage
+            "@3",            // empty site
+            "Site@3",        // uppercase
+            "a b@3",         // space in site
+            "dup@1,dup@2",   // duplicate site
+            "site@18446744073709551616", // u64 overflow
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn hit_fires_exactly_on_the_nth_probe() {
+        with_plan(FaultPlan::parse("s@3").unwrap(), || {
+            assert_eq!(
+                (0..6).map(|_| hit("s")).collect::<Vec<_>>(),
+                [false, false, true, false, false, false]
+            );
+            assert_eq!(fired_count("s"), 1);
+            assert!(!hit("other.site"), "unarmed sites never fire");
+        });
+    }
+
+    #[test]
+    fn sticky_hit_fires_from_n_onwards() {
+        with_plan(FaultPlan::parse("s@2+").unwrap(), || {
+            assert_eq!(
+                (0..4).map(|_| hit("s")).collect::<Vec<_>>(),
+                [false, true, true, true]
+            );
+            assert_eq!(fired_count("s"), 3);
+        });
+    }
+
+    #[test]
+    fn armed_and_fire_implement_one_shot_values() {
+        with_plan(FaultPlan::parse("w@40").unwrap(), || {
+            assert_eq!(armed("w"), Some(40));
+            assert_eq!(armed("w"), Some(40), "armed() does not consume");
+            fire("w");
+            assert_eq!(armed("w"), None, "fired one-shot entries disarm");
+        });
+        with_plan(FaultPlan::parse("w@40+").unwrap(), || {
+            fire("w");
+            assert_eq!(armed("w"), Some(40), "sticky entries stay armed");
+        });
+    }
+
+    #[test]
+    fn take_window_resolves_a_global_index_to_one_dispatch() {
+        with_plan(FaultPlan::parse("p@5").unwrap(), || {
+            assert_eq!(take_window("p", 3), None); // window [0,3)
+            assert_eq!(take_window("p", 4), Some(2)); // window [3,7): 5-3=2
+            assert_eq!(take_window("p", 10), None, "one-shot: consumed");
+        });
+        with_plan(FaultPlan::parse("p@0").unwrap(), || {
+            assert_eq!(take_window("p", 1), Some(0), "index 0 of the first window");
+        });
+    }
+
+    #[test]
+    fn with_plan_scopes_and_restores() {
+        assert!(!hit("outer"), "no plan outside with_plan");
+        with_plan(FaultPlan::parse("outer@1").unwrap(), || {
+            assert!(hit("outer"));
+            with_plan(FaultPlan::parse("inner@1").unwrap(), || {
+                assert!(!hit("outer"), "inner plan shadows outer");
+                assert!(hit("inner"));
+            });
+            assert!(!hit("outer"), "outer counter kept: already past n=1");
+            assert_eq!(armed("outer"), Some(1), "outer plan restored");
+        });
+        assert!(!active() || std::env::var("MISS_FAULTS").is_ok());
+    }
+
+    #[test]
+    fn counters_reset_per_installation() {
+        let plan = FaultPlan::parse("s@1").unwrap();
+        with_plan(plan.clone(), || assert!(hit("s")));
+        with_plan(plan, || assert!(hit("s"), "fresh counters each install"));
+    }
+}

@@ -26,7 +26,15 @@
 //! 4. `std::thread::available_parallelism()`.
 
 use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Fail-point site consulted (on the dispatching thread only) by
+/// [`try_par_for_each_mut`]: `parallel.worker.panic@N` panics inside the
+/// N-th contained task, counted cumulatively across dispatches.
+pub const SITE_WORKER_PANIC: &str = "parallel.worker.panic";
 
 /// Fixed number of chunks [`fixed_chunk_len`] aims for. Chosen so any
 /// realistic thread count (1–64) load-balances well while chunk boundaries
@@ -211,6 +219,96 @@ pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut T) + Sy
     par_chunks_mut(items, 1, |i, _, chunk| f(i, &mut chunk[0]));
 }
 
+/// A worker panic contained by [`try_par_for_each_mut`]: which task
+/// panicked, and what it said. When several tasks panic in one dispatch the
+/// *lowest* task index is reported, so the error is deterministic under any
+/// schedule.
+#[derive(Debug)]
+pub struct PoolError {
+    /// Index of the (lowest) panicking task.
+    pub task: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pool worker panicked in task {}: {}", self.task, self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
+    }
+}
+
+/// [`run_tasks`] with per-task panic containment: every task runs (a panic
+/// never cancels sibling tasks or poisons the pool — workers are per-call,
+/// there is nothing persistent to poison), and the lowest panicking task
+/// index is reported afterwards.
+fn run_tasks_contained(n_tasks: usize, task: &(dyn Fn(usize) + Sync)) -> Result<(), PoolError> {
+    let failures: Mutex<Vec<PoolError>> = Mutex::new(Vec::new());
+    run_tasks(n_tasks, &|i| {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+            let mut f = failures.lock().unwrap_or_else(|p| p.into_inner());
+            f.push(PoolError {
+                task: i,
+                message: payload_to_string(payload),
+            });
+        }
+    });
+    let mut failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+    if failures.is_empty() {
+        return Ok(());
+    }
+    failures.sort_by_key(|e| e.task);
+    Err(failures.swap_remove(0))
+}
+
+/// Fallible [`par_for_each_mut`]: worker panics are contained and returned
+/// as a typed [`PoolError`] instead of unwinding through the caller, so the
+/// caller can recompute the failed work (the trainer falls back to its
+/// serial path, which is bitwise-identical by the determinism contract).
+///
+/// A slot whose task panicked may have been partially mutated — the caller
+/// owns re-initialising it before reuse.
+///
+/// This is also the `parallel.worker.panic` injection point: the armed
+/// global task index is resolved via the fault registry's window cursor *on
+/// the dispatching thread* (fault plans are thread-local; workers never
+/// touch the registry), and the matching task panics. The plain
+/// [`par_for_each_mut`] / [`par_map`] paths never consult the registry, so
+/// kernel-level nested dispatches don't advance the window.
+pub fn try_par_for_each_mut<T: Send>(
+    items: &mut [T],
+    f: impl Fn(usize, &mut T) + Sync,
+) -> Result<(), PoolError> {
+    let len = items.len();
+    if len == 0 {
+        return Ok(());
+    }
+    let inject = miss_fault::take_window(SITE_WORKER_PANIC, len as u64);
+    let ptr = SendPtr(items.as_mut_ptr());
+    run_tasks_contained(len, &|i| {
+        if inject == Some(i as u64) {
+            panic!("injected worker panic ({SITE_WORKER_PANIC}, task {i})");
+        }
+        // SAFETY: i ∈ 0..len is claimed by exactly one worker (fetch_add in
+        // run_tasks), `items` is mutably borrowed for the whole scope, and
+        // slot i is accessed only here — per-slot access is exclusive. A
+        // contained panic cannot alias: the slot is touched by one task once.
+        let slot = unsafe { &mut *ptr.get().add(i) };
+        f(i, slot);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +413,72 @@ mod tests {
                 i
             })
         });
+    }
+
+    #[test]
+    fn try_par_for_each_mut_ok_path_matches_infallible() {
+        for threads in [1, 2, 5] {
+            let mut a = vec![0usize; 23];
+            let mut b = vec![0usize; 23];
+            with_threads(threads, || {
+                par_for_each_mut(&mut a, |i, s| *s = i * 7 + 1);
+                try_par_for_each_mut(&mut b, |i, s| *s = i * 7 + 1).expect("no panics");
+            });
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn natural_panic_is_contained_and_lowest_index_reported() {
+        for threads in [1, 4] {
+            let mut done = vec![false; 12];
+            let err = with_threads(threads, || {
+                try_par_for_each_mut(&mut done, |i, s| {
+                    if i == 9 || i == 3 {
+                        panic!("boom {i}");
+                    }
+                    *s = true;
+                })
+            })
+            .expect_err("panics must surface as PoolError");
+            assert_eq!(err.task, 3, "lowest panicking index wins");
+            assert!(err.message.contains("boom 3"), "{}", err.message);
+            assert!(err.to_string().contains("task 3"));
+            // Sibling tasks all ran to completion despite the panics.
+            for (i, &d) in done.iter().enumerate() {
+                assert_eq!(d, i != 9 && i != 3, "task {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_fires_at_the_windowed_index_and_pool_stays_usable() {
+        use miss_fault::{with_plan, FaultPlan};
+        with_plan(FaultPlan::empty().arm(SITE_WORKER_PANIC, 4), || {
+            with_threads(2, || {
+                // First dispatch covers global window [0, 3): no fire.
+                let mut a = vec![0usize; 3];
+                try_par_for_each_mut(&mut a, |i, s| *s = i + 1).expect("window not reached");
+                assert_eq!(a, [1, 2, 3]);
+                // Second dispatch covers [3, 7): global 4 → local task 1.
+                let mut b = vec![0usize; 4];
+                let err = try_par_for_each_mut(&mut b, |i, s| *s = i + 1)
+                    .expect_err("armed index inside this window");
+                assert_eq!(err.task, 1);
+                assert!(err.message.contains("injected"), "{}", err.message);
+                assert_eq!(miss_fault::fired_count(SITE_WORKER_PANIC), 1);
+                // One-shot: the pool is immediately reusable.
+                let mut c = vec![0usize; 4];
+                try_par_for_each_mut(&mut c, |i, s| *s = i + 1).expect("consumed");
+                assert_eq!(c, [1, 2, 3, 4]);
+            });
+        });
+    }
+
+    #[test]
+    fn try_par_for_each_mut_zero_items_is_ok() {
+        let mut empty: [u8; 0] = [];
+        try_par_for_each_mut(&mut empty, |_, _| panic!("no tasks expected")).expect("noop");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! produces the same `params_fingerprint` as `n` uninterrupted epochs, for
 //! every `MISS_THREADS` (regression-tested in `tests/end_to_end.rs`).
 
-use crate::fit::{train_epoch, TrainConfig};
+use crate::fit::{train_epoch, EpochOutcome, TrainConfig};
 use miss_codec::TrainProgress;
 use miss_core::SslMethod;
 use miss_data::Dataset;
@@ -61,15 +61,16 @@ impl Trainer {
     }
 
     /// Run one training epoch (CTR loss on, plus `ssl`'s auxiliary loss when
-    /// given). Returns the mean training loss.
+    /// given). Returns the epoch's [`EpochOutcome`] (mean loss plus any
+    /// recovery/skip counters).
     pub fn train_epoch(
         &mut self,
         model: &dyn CtrModel,
         ssl: Option<&dyn SslMethod>,
         store: &mut ParamStore,
         dataset: &Dataset,
-    ) -> f64 {
-        let loss = train_epoch(
+    ) -> EpochOutcome {
+        let out = train_epoch(
             model,
             ssl,
             store,
@@ -80,7 +81,7 @@ impl Trainer {
             true,
         );
         self.epoch += 1;
-        loss
+        out
     }
 
     fn progress(&self) -> TrainProgress {
@@ -101,6 +102,28 @@ impl Trainer {
     /// [`Trainer::save_checkpoint`] into an in-memory buffer.
     pub fn save_checkpoint_bytes(&self, store: &ParamStore) -> Result<Vec<u8>, MissError> {
         miss_codec::save_to_vec(store, Some(&self.progress()))
+    }
+
+    /// [`Trainer::save_checkpoint`] with bounded retry on I/O errors
+    /// (atomic per attempt — see `miss_codec::save_to_path_retrying`).
+    pub fn save_checkpoint_retrying(
+        &self,
+        store: &ParamStore,
+        path: &Path,
+        policy: &miss_codec::RetryPolicy,
+    ) -> Result<(), MissError> {
+        miss_codec::save_to_path_retrying(path, store, Some(&self.progress()), policy)
+    }
+
+    /// Checkpoint into `ring`'s slot for the current epoch (atomic + retry),
+    /// pruning the ring afterwards. Returns the slot path written.
+    pub fn save_to_ring(
+        &self,
+        store: &ParamStore,
+        ring: &crate::ring::CheckpointRing,
+        policy: &miss_codec::RetryPolicy,
+    ) -> Result<std::path::PathBuf, MissError> {
+        ring.save(store, &self.progress(), policy)
     }
 
     fn from_progress(cfg: TrainConfig, progress: Option<TrainProgress>) -> Result<Trainer, MissError> {

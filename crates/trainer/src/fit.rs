@@ -7,9 +7,29 @@ use miss_core::SslMethod;
 use miss_data::{Batch, Dataset, Sample};
 use miss_models::{CtrModel, ForwardOpts};
 use miss_nn::{Adam, DenseId, Graph, ParamStore};
-use miss_parallel::par_for_each_mut;
+use miss_parallel::try_par_for_each_mut;
 use miss_tensor::Tensor;
-use miss_util::Rng;
+use miss_util::{MissError, Rng};
+
+// The trainer fail-point sites poison the *outputs* of the first micro of
+// the minibatch — the exact surface `check_step_finite` guards. They inject
+// downstream of the autograd tape on purpose: the tape debug-asserts
+// finiteness at record time, an earlier defense layer that would catch
+// on-tape poison in debug builds; these sites model the release-build path
+// where a non-finite value survives to the step guard.
+
+/// Fail-point site consulted once per minibatch attempt on the dispatching
+/// thread: replaces the first micro's scalar loss with NaN (miss-fault
+/// table).
+pub const SITE_NAN_LOSS: &str = "trainer.nan.loss";
+/// Fail-point site: pokes NaN into the merged sparse gradient after the
+/// reduction, leaving the loss finite — exercises the gradient half of the
+/// step guard specifically.
+pub const SITE_NAN_GRAD: &str = "trainer.nan.grad";
+/// Fail-point site: pokes NaN into the first micro's own sparse gradient
+/// before the reduction, simulating a corrupt minibatch whose garbage rows
+/// surface as non-finite embedding gradients.
+pub const SITE_BATCH_CORRUPT: &str = "trainer.batch.corrupt";
 
 /// Training hyper-parameters (paper §VI-A5 ranges; defaults chosen from the
 /// validation grid at our scale).
@@ -76,6 +96,11 @@ pub struct FitOutcome {
     pub valid: EvalResult,
     /// Epochs actually run.
     pub epochs: usize,
+    /// Minibatch steps skipped across all epochs because both the parallel
+    /// and the serial attempt produced a non-finite or panicking step
+    /// (DESIGN.md §9.4). Zero on a healthy run; a non-zero value means the
+    /// metrics were fitted on fewer steps than the schedule prescribed.
+    pub skipped_steps: usize,
 }
 
 /// Number of micro-batches a minibatch is cut into (before the
@@ -108,10 +133,16 @@ struct MicroOut {
 
 /// One micro-batch of work: the sample refs (batch assembly happens on the
 /// worker) and the micro's own RNG stream, forked from the epoch RNG on the
-/// main thread in micro index order so it is schedule-independent.
+/// main thread in micro index order so it is schedule-independent. `rng0` is
+/// never advanced — workers clone it per attempt, so a recomputed minibatch
+/// replays exactly the same randomness and stays bitwise identical.
 struct MicroJob<'a> {
     refs: Vec<&'a Sample>,
-    rng: Rng,
+    rng0: Rng,
+    /// `trainer.nan.loss` armed for this micro on this attempt.
+    poison_loss: bool,
+    /// `trainer.batch.corrupt` armed for this micro on this attempt.
+    poison_batch: bool,
 }
 
 /// A parallel task's long-lived slot: the reused graph plus this minibatch's
@@ -123,9 +154,29 @@ struct TrainSlot<'a> {
     outs: Vec<Option<MicroOut>>,
 }
 
+/// What [`train_epoch`] did beyond the mean loss: how many minibatch steps
+/// were committed vs skipped, and which recoveries happened on the way.
+/// With no faults and healthy data, everything but `mean_loss` and
+/// `batches` is zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EpochOutcome {
+    /// Mean training loss over committed minibatch steps.
+    pub mean_loss: f64,
+    /// Minibatch steps committed to the optimiser.
+    pub batches: usize,
+    /// Worker panics contained by the pool and answered with a serial
+    /// recomputation of the minibatch.
+    pub recovered_panics: usize,
+    /// Non-finite losses/gradients that triggered a recomputation.
+    pub retried_non_finite: usize,
+    /// Minibatches abandoned after the retry also failed — no Adam step was
+    /// taken for these, so optimiser state never saw a poisoned gradient.
+    pub skipped_steps: usize,
+}
+
 /// One training epoch. `ssl` optionally contributes its (already weighted)
 /// auxiliary loss; `ctr_loss` switches the main log-loss on/off (off during
-/// SSL-only pre-training). Returns the mean training loss.
+/// SSL-only pre-training). Returns the [`EpochOutcome`].
 ///
 /// Each minibatch is sharded into [`micro_batch_len`]-row micro-batches that
 /// run forward + backward in parallel over the `miss-parallel` pool; every
@@ -133,6 +184,16 @@ struct TrainSlot<'a> {
 /// minibatch mean, and gradients are folded in micro index order
 /// ([`Grads::merge_ordered`]) before a single Adam step. The result is
 /// bitwise identical for any `MISS_THREADS` and any task grouping.
+///
+/// # Self-healing (DESIGN.md §9)
+///
+/// Each minibatch gets at most two attempts. A worker panic (contained by
+/// [`try_par_for_each_mut`]) or a non-finite loss/gradient on attempt 1
+/// triggers a full serial recomputation from the jobs' pristine RNG clones —
+/// bitwise identical to the parallel result by the determinism contract, so
+/// a recovered epoch matches an undisturbed one exactly. If attempt 2 also
+/// fails, the minibatch is skipped with a logged [`MissError`]: a poisoned
+/// step is never committed to Adam state.
 #[allow(clippy::too_many_arguments)]
 pub fn train_epoch(
     model: &dyn CtrModel,
@@ -143,9 +204,9 @@ pub fn train_epoch(
     cfg: &TrainConfig,
     rng: &mut Rng,
     ctr_loss: bool,
-) -> f64 {
+) -> EpochOutcome {
     let mut total = 0.0f64;
-    let mut batches = 0usize;
+    let mut outcome = EpochOutcome::default();
     let mut shuffle_rng = rng.fork(0xEE0C);
     let mut order: Vec<usize> = (0..dataset.train.len()).collect();
     shuffle_rng.shuffle(&mut order);
@@ -194,124 +255,242 @@ pub fn train_epoch(
             let refs: Vec<&Sample> = order[ms..me].iter().map(|&i| &dataset.train[i]).collect();
             slots[m / group].jobs.push(MicroJob {
                 refs,
-                rng: rng.fork(0x51AD),
+                rng0: rng.fork(0x51AD),
+                poison_loss: false,
+                poison_batch: false,
             });
         }
 
-        let store_ref: &ParamStore = store;
-        let shard_scope = miss_util::profile::scope("train/forward_backward");
-        par_for_each_mut(&mut slots[..n_tasks], |_, slot| {
-            for job in slot.jobs.iter_mut() {
-                let batch = Batch::from_samples(&job.refs, schema);
-                let g = &mut slot.graph;
-                g.reset(store_ref);
-                let bindings: Vec<(DenseId, Var)> = dense_ids
-                    .iter()
-                    .map(|&id| (id, g.param(store_ref, id)))
-                    .collect();
-                let mut opts = ForwardOpts {
-                    training: true,
-                    rng: &mut job.rng,
-                };
-                let mut loss = if ctr_loss {
-                    let logits = model.forward(g, store_ref, &batch, &mut opts);
-                    let labels = Tensor::from_vec(batch.size, 1, batch.labels.clone());
-                    let mut l = g.tape.bce_with_logits_mean(logits, labels);
-                    if let Some(extra) = model.extra_loss(g, store_ref, &batch, &mut opts) {
-                        let w = g.tape.scale(extra, extra_loss_weight);
-                        l = g.tape.add(l, w);
-                    }
-                    Some(l)
-                } else {
-                    None
-                };
-                if let Some(method) = ssl {
-                    if let Some(aux) =
-                        method.ssl_loss(g, store_ref, model.embedding(), &batch, opts.rng)
-                    {
-                        loss = Some(match loss {
-                            Some(l) => g.tape.add(l, aux),
-                            None => aux,
-                        });
-                    }
+        // At most two attempts per minibatch: parallel, then (only after a
+        // contained panic or a non-finite step) a full serial recomputation
+        // from the jobs' pristine RNG clones. Both produce identical bits.
+        for attempt in 1..=2u32 {
+            for slot in slots[..n_tasks].iter_mut() {
+                slot.outs.clear();
+                for job in slot.jobs.iter_mut() {
+                    job.poison_loss = false;
+                    job.poison_batch = false;
                 }
-                let out = loss.map(|l| {
-                    // rows/batch weighting: the micro losses sum to the
-                    // minibatch mean the serial loop used to compute.
-                    let scaled = g.tape.scale(l, batch.size as f32 / mb_rows as f32);
-                    let value = g.tape.value(scaled).item() as f64;
-                    let grads = g.tape.backward(scaled);
-                    MicroOut {
-                        loss: value,
-                        grads,
-                        bindings,
-                    }
-                });
-                slot.outs.push(out);
             }
-        });
-        drop(shard_scope);
+            // Fault probes run on the dispatching thread only (plans are
+            // thread-local); counters advance once per attempt, so a
+            // one-shot fault does not re-fire on the recomputation.
+            if miss_fault::active() {
+                let first = &mut slots[0].jobs[0];
+                first.poison_loss = miss_fault::hit(SITE_NAN_LOSS);
+                first.poison_batch = miss_fault::hit(SITE_BATCH_CORRUPT);
+            }
 
-        // Ordered reduction, pairwise in a fixed tree: flatten the outputs
-        // into micro index order (tasks hold consecutive micros, so slot
-        // order is micro order), then merge adjacent survivors at doubling
-        // gaps — (0,1)(2,3)… then (0,2)(4,6)… then (0,4)… The shape of the
-        // tree is a pure function of the micro count, never the thread
-        // count, and adjacent-pair merging keeps the concatenated sparse
-        // gradient stream in micro order, same as the old left fold.
-        let merge_scope = miss_util::profile::scope("train/merge");
-        flat.clear();
-        let mut batch_loss = 0.0f64;
-        for slot in slots[..n_tasks].iter_mut() {
-            for out in slot.outs.drain(..) {
-                if let Some(out) = &out {
-                    batch_loss += out.loss;
+            let store_ref: &ParamStore = &*store;
+            let run_slot = |_t: usize, slot: &mut TrainSlot| {
+                for job in slot.jobs.iter_mut() {
+                    // Clone, never advance, the pristine stream: a retried
+                    // attempt replays exactly the same randomness.
+                    let mut wrng = job.rng0.clone();
+                    let batch = Batch::from_samples(&job.refs, schema);
+                    let g = &mut slot.graph;
+                    g.reset(store_ref);
+                    let bindings: Vec<(DenseId, Var)> = dense_ids
+                        .iter()
+                        .map(|&id| (id, g.param(store_ref, id)))
+                        .collect();
+                    let mut opts = ForwardOpts {
+                        training: true,
+                        rng: &mut wrng,
+                    };
+                    let mut loss = if ctr_loss {
+                        let logits = model.forward(g, store_ref, &batch, &mut opts);
+                        let labels = Tensor::from_vec(batch.size, 1, batch.labels.clone());
+                        let mut l = g.tape.bce_with_logits_mean(logits, labels);
+                        if let Some(extra) = model.extra_loss(g, store_ref, &batch, &mut opts) {
+                            let w = g.tape.scale(extra, extra_loss_weight);
+                            l = g.tape.add(l, w);
+                        }
+                        Some(l)
+                    } else {
+                        None
+                    };
+                    if let Some(method) = ssl {
+                        if let Some(aux) =
+                            method.ssl_loss(g, store_ref, model.embedding(), &batch, opts.rng)
+                        {
+                            loss = Some(match loss {
+                                Some(l) => g.tape.add(l, aux),
+                                None => aux,
+                            });
+                        }
+                    }
+                    let mut out = loss.map(|l| {
+                        // rows/batch weighting: the micro losses sum to the
+                        // minibatch mean the serial loop used to compute.
+                        let scaled = g.tape.scale(l, batch.size as f32 / mb_rows as f32);
+                        let value = g.tape.value(scaled).item() as f64;
+                        let grads = g.tape.backward(scaled);
+                        MicroOut {
+                            loss: value,
+                            grads,
+                            bindings,
+                        }
+                    });
+                    if let Some(o) = out.as_mut() {
+                        if job.poison_loss {
+                            o.loss = f64::NAN;
+                        }
+                        if job.poison_batch {
+                            if let Some(row) = o
+                                .grads
+                                .sparse
+                                .first_mut()
+                                .and_then(|sg| sg.grad_rows.as_mut_slice().first_mut())
+                            {
+                                *row = f32::NAN;
+                            }
+                        }
+                    }
+                    slot.outs.push(out);
                 }
-                flat.push(out);
-            }
-        }
-        // Every micro binds the dense params in store order on a freshly
-        // reset graph, so the Var bindings are identical across micros; one
-        // (into, from) list serves every merge in the tree. Verified here.
-        pairs.clear();
-        if let Some(first) = flat.iter().flatten().next() {
-            pairs.extend(first.bindings.iter().map(|&(_, v)| (v, v)));
-            for out in flat.iter().flatten() {
-                assert_eq!(
-                    first.bindings, out.bindings,
-                    "micro-batches disagree on binding order"
+            };
+
+            let shard_scope = miss_util::profile::scope("train/forward_backward");
+            let dispatched = if attempt == 1 {
+                try_par_for_each_mut(&mut slots[..n_tasks], &run_slot)
+            } else {
+                // Serial recomputation: pinned to one thread, it is exactly
+                // the unsharded schedule the determinism contract equates
+                // with the parallel one (see the bit-identity tests).
+                miss_parallel::with_threads(1, || {
+                    try_par_for_each_mut(&mut slots[..n_tasks], &run_slot)
+                })
+            };
+            drop(shard_scope);
+            if let Err(e) = dispatched {
+                outcome.recovered_panics += 1;
+                if attempt == 1 {
+                    eprintln!(
+                        "miss-trainer: contained {e} (minibatch at row {pos}); recomputing serially"
+                    );
+                    continue;
+                }
+                eprintln!(
+                    "miss-trainer: contained {e} (minibatch at row {pos}) again on the serial \
+                     retry; skipping this minibatch"
                 );
+                outcome.skipped_steps += 1;
+                break;
             }
-        }
-        let mut gap = 1;
-        while gap < flat.len() {
-            let mut i = 0;
-            while i + gap < flat.len() {
-                if let Some(right) = flat[i + gap].take() {
-                    match &mut flat[i] {
-                        Some(left) => left.grads.merge_ordered(right.grads, &pairs),
-                        slot @ None => *slot = Some(right),
+
+            // Ordered reduction, pairwise in a fixed tree: flatten the
+            // outputs into micro index order (tasks hold consecutive micros,
+            // so slot order is micro order), then merge adjacent survivors
+            // at doubling gaps — (0,1)(2,3)… then (0,2)(4,6)… then (0,4)…
+            // The shape of the tree is a pure function of the micro count,
+            // never the thread count, and adjacent-pair merging keeps the
+            // concatenated sparse gradient stream in micro order, same as
+            // the old left fold.
+            let merge_scope = miss_util::profile::scope("train/merge");
+            flat.clear();
+            let mut batch_loss = 0.0f64;
+            for slot in slots[..n_tasks].iter_mut() {
+                for out in slot.outs.drain(..) {
+                    if let Some(out) = &out {
+                        batch_loss += out.loss;
+                    }
+                    flat.push(out);
+                }
+            }
+            // Every micro binds the dense params in store order on a freshly
+            // reset graph, so the Var bindings are identical across micros;
+            // one (into, from) list serves every merge in the tree.
+            pairs.clear();
+            if let Some(first) = flat.iter().flatten().next() {
+                pairs.extend(first.bindings.iter().map(|&(_, v)| (v, v)));
+                for out in flat.iter().flatten() {
+                    assert_eq!(
+                        first.bindings, out.bindings,
+                        "micro-batches disagree on binding order"
+                    );
+                }
+            }
+            let mut gap = 1;
+            while gap < flat.len() {
+                let mut i = 0;
+                while i + gap < flat.len() {
+                    if let Some(right) = flat[i + gap].take() {
+                        match &mut flat[i] {
+                            Some(left) => left.grads.merge_ordered(right.grads, &pairs),
+                            slot @ None => *slot = Some(right),
+                        }
+                    }
+                    i += gap * 2;
+                }
+                gap *= 2;
+            }
+            drop(merge_scope);
+            if let Some(mut merged) = flat.first_mut().and_then(Option::take) {
+                if miss_fault::active() && miss_fault::hit(SITE_NAN_GRAD) {
+                    if let Some(sg) = merged.grads.sparse.first_mut() {
+                        if let Some(x) = sg.grad_rows.as_mut_slice().first_mut() {
+                            *x = f32::NAN;
+                        }
                     }
                 }
-                i += gap * 2;
+                // The step guard: a non-finite loss or gradient must never
+                // reach Adam state. Retry once (a one-shot fault will not
+                // re-fire), then skip the step with a typed, logged error.
+                if let Err(what) = check_step_finite(batch_loss, &merged) {
+                    let err =
+                        MissError::non_finite(format!("minibatch at row {pos}: {what}"));
+                    outcome.retried_non_finite += 1;
+                    if attempt == 1 {
+                        eprintln!("miss-trainer: {err}; recomputing serially");
+                        continue;
+                    }
+                    eprintln!("miss-trainer: {err} again on the serial retry; skipping this step");
+                    outcome.skipped_steps += 1;
+                    break;
+                }
+                let step_scope = miss_util::profile::scope("train/adam");
+                adam.step_with_bindings(store, &merged.bindings, merged.grads);
+                drop(step_scope);
+                total += batch_loss;
+                outcome.batches += 1;
             }
-            gap *= 2;
-        }
-        drop(merge_scope);
-        if let Some(merged) = flat.first_mut().and_then(Option::take) {
-            let step_scope = miss_util::profile::scope("train/adam");
-            adam.step_with_bindings(store, &merged.bindings, merged.grads);
-            drop(step_scope);
-            total += batch_loss;
-            batches += 1;
+            break;
         }
         pos = end;
     }
-    if batches == 0 {
+    outcome.mean_loss = if outcome.batches == 0 {
         0.0
     } else {
-        total / batches as f64
+        total / outcome.batches as f64
+    };
+    outcome
+}
+
+/// The step guard's scan: `Ok` iff the minibatch loss and every merged
+/// gradient (dense via the bindings, sparse rows) are finite. One
+/// vectorized exponent-mask pass (`Tensor::has_non_finite`) over memory the
+/// merge just touched.
+fn check_step_finite(batch_loss: f64, merged: &MicroOut) -> Result<(), String> {
+    if !batch_loss.is_finite() {
+        return Err(format!("loss is {batch_loss}"));
     }
+    for &(id, v) in &merged.bindings {
+        if let Some(g) = merged.grads.get(v) {
+            if g.has_non_finite() {
+                return Err(format!("dense gradient of param {id:?} is non-finite"));
+            }
+        }
+    }
+    for sg in &merged.grads.sparse {
+        if sg.grad_rows.has_non_finite() {
+            return Err(format!(
+                "sparse gradient of table {} is non-finite",
+                sg.table_id
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Joint multi-task fit (the paper's default, "MISS-Joint"): minimise
@@ -333,9 +512,11 @@ pub fn fit(
     let mut best_snap = store.snapshot();
     let mut bad_epochs = 0usize;
     let mut epochs = 0usize;
+    let mut skipped_steps = 0usize;
     for _ in 0..cfg.max_epochs {
         epochs += 1;
-        train_epoch(model, ssl, store, &mut adam, dataset, cfg, &mut rng, true);
+        skipped_steps +=
+            train_epoch(model, ssl, store, &mut adam, dataset, cfg, &mut rng, true).skipped_steps;
         let valid = evaluate(model, store, &dataset.valid, &dataset.schema, 256);
         if valid.auc > best_valid.auc {
             best_valid = valid;
@@ -354,6 +535,7 @@ pub fn fit(
         test,
         valid: best_valid,
         epochs,
+        skipped_steps,
     }
 }
 
@@ -369,8 +551,9 @@ pub fn fit_pretrain(
 ) -> FitOutcome {
     let mut adam = Adam::new(cfg.lr, cfg.l2);
     let mut rng = Rng::new(cfg.seed ^ 0x9E7);
+    let mut skipped_steps = 0usize;
     for _ in 0..pretrain_epochs {
-        train_epoch(
+        skipped_steps += train_epoch(
             model,
             Some(ssl),
             store,
@@ -379,11 +562,14 @@ pub fn fit_pretrain(
             cfg,
             &mut rng,
             false,
-        );
+        )
+        .skipped_steps;
     }
     // Fine-tune with the main loss only (fresh optimiser state, same story
     // as re-initialising the heads on top of pre-trained embeddings).
-    fit(model, None, store, dataset, cfg)
+    let mut out = fit(model, None, store, dataset, cfg);
+    out.skipped_steps += skipped_steps;
+    out
 }
 
 #[cfg(test)]
@@ -460,10 +646,10 @@ mod tests {
             let mut adam = Adam::new(cfg.lr, cfg.l2);
             let mut epoch_rng = Rng::new(cfg.seed);
             miss_parallel::with_threads(threads, || {
-                let loss = train_epoch(
+                let out = train_epoch(
                     &model, None, &mut store, &mut adam, &dataset, &cfg, &mut epoch_rng, true,
                 );
-                (loss.to_bits(), store.params_fingerprint())
+                (out.mean_loss.to_bits(), store.params_fingerprint())
             })
         };
         let base = run(1, 1);
@@ -485,10 +671,10 @@ mod tests {
             cfg.parallel_min_rows = min_rows;
             let mut adam = Adam::new(cfg.lr, cfg.l2);
             let mut epoch_rng = Rng::new(cfg.seed);
-            let loss = train_epoch(
+            let out = train_epoch(
                 &model, None, &mut store, &mut adam, &dataset, &cfg, &mut epoch_rng, true,
             );
-            (loss.to_bits(), store.params_fingerprint())
+            (out.mean_loss.to_bits(), store.params_fingerprint())
         };
         // quick_cfg batches are 64 rows; both values exceed that.
         assert_eq!(run(65), run(usize::MAX));

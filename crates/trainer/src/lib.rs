@@ -6,13 +6,16 @@ mod checkpoint;
 mod evaluate;
 mod fit;
 mod registry;
+mod ring;
 
 pub use checkpoint::Trainer;
 pub use evaluate::{evaluate, evaluate_gauc, EvalResult};
-pub use miss_codec::TrainProgress;
+pub use miss_codec::{RetryPolicy, TrainProgress};
 pub use miss_util::{MissError, MissResult};
 pub use fit::{
-    fit, fit_pretrain, grid_search, micro_batch_len, train_epoch, FitOutcome, GridPoint,
-    TrainConfig, MIN_MICRO_ROWS, TRAIN_MICRO_CHUNKS,
+    fit, fit_pretrain, grid_search, micro_batch_len, train_epoch, EpochOutcome, FitOutcome,
+    GridPoint, TrainConfig, MIN_MICRO_ROWS, SITE_BATCH_CORRUPT, SITE_NAN_GRAD, SITE_NAN_LOSS,
+    TRAIN_MICRO_CHUNKS,
 };
-pub use registry::{BaseModel, Experiment, SslKind, ALL_BASELINES};
+pub use registry::{BaseModel, Experiment, SslKind, ALL_BASELINES, RING_KEEP_DEFAULT};
+pub use ring::{CheckpointRing, RingResume};

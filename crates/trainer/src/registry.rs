@@ -4,6 +4,8 @@
 use crate::checkpoint::Trainer;
 use crate::evaluate::{evaluate, EvalResult};
 use crate::fit::{fit, fit_pretrain, FitOutcome, TrainConfig};
+use crate::ring::CheckpointRing;
+use miss_codec::RetryPolicy;
 use miss_core::{Cl4SRec, Irssl, Miss, MissConfig, RuleSsl, S3Rec, SslMethod};
 use miss_data::{Dataset, Schema};
 use miss_models::{
@@ -177,7 +179,19 @@ pub struct Experiment {
     /// Where [`Experiment::run_checkpointed`] writes its checkpoint after
     /// every epoch.
     pub checkpoint_out: Option<PathBuf>,
+    /// Maintain a [`CheckpointRing`] in this directory: one slot per epoch,
+    /// pruned to [`Experiment::ring_keep`], resumed from the newest *valid*
+    /// slot on start (corrupt slots are logged and skipped). Takes effect in
+    /// [`Experiment::run_checkpointed`]; ignored when
+    /// [`Experiment::resume_from`] names an explicit checkpoint.
+    pub ring_dir: Option<PathBuf>,
+    /// Ring retention (newest slots kept); clamped to ≥ 1.
+    pub ring_keep: usize,
 }
+
+/// Default [`Experiment::ring_keep`]: survive a corrupt newest slot with
+/// slack to spare, without hoarding disk.
+pub const RING_KEEP_DEFAULT: usize = 3;
 
 impl Experiment {
     /// Joint-training experiment with default hyper-parameters.
@@ -190,6 +204,8 @@ impl Experiment {
             pretrain_epochs: None,
             resume_from: None,
             checkpoint_out: None,
+            ring_dir: None,
+            ring_keep: RING_KEEP_DEFAULT,
         }
     }
 
@@ -232,29 +248,84 @@ impl Experiment {
     /// best-validation one), and surfaces checkpoint problems as typed
     /// [`MissError`]s instead of aborting.
     pub fn run_checkpointed(&self, dataset: &Dataset, seed: u64) -> Result<FitOutcome, MissError> {
-        let mut store = ParamStore::new();
-        let mut rng = Rng::new(seed ^ 0xE9);
-        let model = self
-            .base
-            .build(&mut store, &dataset.schema, &self.model_cfg, &mut rng);
-        let ssl = self.ssl.build(&mut store, model.embedding(), &mut rng);
+        // Model/SSL construction is deterministic given the seed, so a fresh
+        // build per ring-resume candidate rebuilds identical param ids — a
+        // half-loaded store from a corrupt slot is simply thrown away.
+        let build = || {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(seed ^ 0xE9);
+            let model = self
+                .base
+                .build(&mut store, &dataset.schema, &self.model_cfg, &mut rng);
+            let ssl = self.ssl.build(&mut store, model.embedding(), &mut rng);
+            (store, model, ssl)
+        };
         let mut cfg = self.train_cfg.clone();
         cfg.seed = seed;
-        let mut trainer = match &self.resume_from {
-            Some(path) => Trainer::resume_from(cfg.clone(), &mut store, path)?,
-            None => Trainer::new(cfg.clone()),
+        let ring = self
+            .ring_dir
+            .as_ref()
+            .map(|dir| CheckpointRing::new(dir, "ckpt", self.ring_keep));
+        let (mut store, model, ssl);
+        let mut trainer = match (&self.resume_from, &ring) {
+            (Some(path), _) => {
+                (store, model, ssl) = build();
+                Trainer::resume_from(cfg.clone(), &mut store, path)?
+            }
+            (None, Some(ring)) => {
+                let resumed = ring.resume_newest_valid(&cfg, || {
+                    let (store, model, ssl) = build();
+                    (store, (model, ssl))
+                })?;
+                match resumed {
+                    Some(r) => {
+                        store = r.store;
+                        (model, ssl) = r.extra;
+                        r.trainer
+                    }
+                    None => {
+                        (store, model, ssl) = build();
+                        Trainer::new(cfg.clone())
+                    }
+                }
+            }
+            (None, None) => {
+                (store, model, ssl) = build();
+                Trainer::new(cfg.clone())
+            }
         };
+        let retry = RetryPolicy::default();
         let mut epochs = 0usize;
+        let mut skipped_steps = 0usize;
         while trainer.epoch() < cfg.max_epochs as u64 {
-            trainer.train_epoch(model.as_ref(), ssl.as_deref(), &mut store, dataset);
+            let out = trainer.train_epoch(model.as_ref(), ssl.as_deref(), &mut store, dataset);
             epochs += 1;
+            skipped_steps += out.skipped_steps;
+            if out.batches == 0 && out.skipped_steps > 0 {
+                // Every step of the epoch was rejected by the non-finite
+                // guard: the run is poisoned, not merely unlucky. Abort with
+                // the typed error instead of looping over no-op epochs.
+                return Err(MissError::non_finite(format!(
+                    "epoch {}: all {} minibatch steps were skipped",
+                    trainer.epoch(),
+                    out.skipped_steps
+                )));
+            }
             if let Some(path) = &self.checkpoint_out {
-                trainer.save_checkpoint(&store, path)?;
+                trainer.save_checkpoint_retrying(&store, path, &retry)?;
+            }
+            if let Some(ring) = &ring {
+                trainer.save_to_ring(&store, ring, &retry)?;
             }
         }
         let valid = evaluate(model.as_ref(), &store, &dataset.valid, &dataset.schema, 256);
         let test = evaluate(model.as_ref(), &store, &dataset.test, &dataset.schema, 256);
-        Ok(FitOutcome { test, valid, epochs })
+        Ok(FitOutcome {
+            test,
+            valid,
+            epochs,
+            skipped_steps,
+        })
     }
 }
 

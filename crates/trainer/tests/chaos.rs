@@ -1,0 +1,244 @@
+//! The chaos matrix: every injected fault kind × thread count must leave
+//! training **bitwise identical** to an undisturbed run.
+//!
+//! Recovery is recomputation from pristine per-micro RNG clones, and fault
+//! counters advance per attempt, so a one-shot fault fires once and the
+//! retry reproduces exactly the bits the fault destroyed. Sticky faults
+//! (which defeat the retry too) must skip the step without touching the
+//! optimiser. The ring half of the matrix kills a run at every epoch
+//! boundary — optionally corrupting the newest slot — and resumes, again to
+//! bitwise-identical final weights.
+
+use miss_data::{Dataset, WorldConfig};
+use miss_fault::{with_plan, FaultPlan};
+use miss_models::{Din, ModelConfig};
+use miss_nn::{Adam, ParamStore};
+use miss_parallel::{with_threads, SITE_WORKER_PANIC};
+use miss_trainer::{
+    train_epoch, CheckpointRing, EpochOutcome, MissError, RetryPolicy, TrainConfig, Trainer,
+    SITE_BATCH_CORRUPT, SITE_NAN_GRAD, SITE_NAN_LOSS,
+};
+use miss_util::Rng;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn world() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| Dataset::generate(WorldConfig::tiny(), 53))
+}
+
+fn chaos_cfg() -> TrainConfig {
+    TrainConfig {
+        batch_size: 64,
+        seed: 7,
+        // Force sharding so every minibatch really fans out over tasks and
+        // `parallel.worker.panic` has a window to land in.
+        parallel_min_rows: 0,
+        ..TrainConfig::default()
+    }
+}
+
+fn build(seed: u64) -> (ParamStore, Din) {
+    let mut store = ParamStore::new();
+    let mut rng = Rng::new(seed);
+    let model = Din::new(&mut store, &world().schema, &ModelConfig::default(), &mut rng);
+    (store, model)
+}
+
+/// One epoch from scratch; returns the final weight fingerprint + outcome.
+fn run_epoch() -> (u64, EpochOutcome) {
+    let (mut store, model) = build(5);
+    let cfg = chaos_cfg();
+    let mut adam = Adam::new(cfg.lr, cfg.l2);
+    let mut epoch_rng = Rng::new(cfg.seed);
+    let out = train_epoch(
+        &model, None, &mut store, &mut adam, world(), &cfg, &mut epoch_rng, true,
+    );
+    (store.params_fingerprint(), out)
+}
+
+struct Scratch(PathBuf);
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("miss-chaos-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+}
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn every_fault_kind_recovers_bitwise_identical_at_1_and_4_threads() {
+    for threads in [1usize, 4] {
+        let (base_fp, base_out) = with_threads(threads, run_epoch);
+        assert_eq!(
+            (base_out.recovered_panics, base_out.retried_non_finite, base_out.skipped_steps),
+            (0, 0, 0),
+            "clean run must not report recoveries"
+        );
+        // (site, trigger, expected recovered_panics, expected retried_non_finite)
+        let matrix = [
+            (SITE_WORKER_PANIC, 2u64, 1usize, 0usize),
+            (SITE_NAN_LOSS, 1, 0, 1),
+            (SITE_NAN_GRAD, 1, 0, 1),
+            (SITE_BATCH_CORRUPT, 1, 0, 1),
+        ];
+        for (site, n, panics, retries) in matrix {
+            let (fp, out) = with_plan(FaultPlan::empty().arm(site, n), || {
+                with_threads(threads, run_epoch)
+            });
+            assert_eq!(
+                fp, base_fp,
+                "{site}@{n} at {threads} threads: recovered weights must be bit-identical"
+            );
+            assert_eq!(
+                out.mean_loss.to_bits(),
+                base_out.mean_loss.to_bits(),
+                "{site}@{n} at {threads} threads: mean loss must be bit-identical"
+            );
+            assert_eq!(out.recovered_panics, panics, "{site}@{n} at {threads} threads");
+            assert_eq!(out.retried_non_finite, retries, "{site}@{n} at {threads} threads");
+            assert_eq!(out.skipped_steps, 0, "{site}@{n} must recover, not skip");
+            assert_eq!(out.batches, base_out.batches);
+        }
+    }
+}
+
+#[test]
+fn sticky_nan_skips_every_step_and_never_touches_the_optimiser() {
+    for threads in [1usize, 4] {
+        let (mut store, model) = build(5);
+        let untouched = store.params_fingerprint();
+        let cfg = chaos_cfg();
+        let mut adam = Adam::new(cfg.lr, cfg.l2);
+        let mut epoch_rng = Rng::new(cfg.seed);
+        let out = with_plan(FaultPlan::empty().arm_sticky(SITE_NAN_LOSS, 1), || {
+            with_threads(threads, || {
+                train_epoch(
+                    &model, None, &mut store, &mut adam, world(), &cfg, &mut epoch_rng, true,
+                )
+            })
+        });
+        assert_eq!(out.batches, 0, "no poisoned step may commit");
+        assert!(out.skipped_steps > 0);
+        assert_eq!(out.retried_non_finite, 2 * out.skipped_steps, "retry then skip, per minibatch");
+        assert_eq!(out.mean_loss, 0.0);
+        assert_eq!(
+            store.params_fingerprint(),
+            untouched,
+            "skipped steps must leave the weights untouched"
+        );
+        assert_eq!(adam.steps(), 0, "skipped steps must not advance Adam");
+    }
+}
+
+#[test]
+fn fully_poisoned_checkpointed_run_aborts_with_non_finite() {
+    use miss_trainer::{BaseModel, Experiment, SslKind};
+    let mut e = Experiment::new(BaseModel::Din, SslKind::None);
+    e.train_cfg = chaos_cfg();
+    e.train_cfg.max_epochs = 1;
+    let err = with_plan(FaultPlan::empty().arm_sticky(SITE_NAN_LOSS, 1), || {
+        e.run_checkpointed(world(), 0).expect_err("poisoned run must abort")
+    });
+    assert!(
+        matches!(err, MissError::NonFinite { .. }),
+        "expected NonFinite, got {err}"
+    );
+}
+
+#[test]
+fn ring_save_survives_a_write_crash_via_retry() {
+    let scratch = Scratch::new("retry");
+    let ring = CheckpointRing::new(&scratch.0, "run", 3);
+    let (mut store, model) = build(5);
+    let mut trainer = Trainer::new(chaos_cfg());
+    trainer.train_epoch(&model, None, &mut store, world());
+    let path = with_plan(FaultPlan::empty().arm("codec.write.err", 100), || {
+        trainer
+            .save_to_ring(&store, &ring, &RetryPolicy::default())
+            .expect("attempt 1 crashes at byte 100, attempt 2 lands")
+    });
+    assert_eq!(path, ring.slot_path(1));
+    let resumed = ring
+        .resume_newest_valid(trainer.config(), || build(5))
+        .expect("ring scan")
+        .expect("slot 1 must be valid");
+    assert_eq!(resumed.trainer.epoch(), 1);
+    assert_eq!(resumed.store.params_fingerprint(), store.params_fingerprint());
+}
+
+/// The kill matrix: for every epoch boundary k, and for both a clean and a
+/// corrupted newest slot, kill the run after k epochs and resume from the
+/// ring; the finished run must match the uninterrupted one bit for bit.
+/// (With the newest slot corrupt, resume falls back one epoch and retrains
+/// it — same bits, one epoch more work.)
+#[test]
+fn kill_at_every_epoch_times_corruption_resumes_bitwise_identical() {
+    const EPOCHS: u64 = 3;
+    for threads in [1usize, 4] {
+        let baseline = with_threads(threads, || {
+            let (mut store, model) = build(5);
+            let mut trainer = Trainer::new(chaos_cfg());
+            while trainer.epoch() < EPOCHS {
+                trainer.train_epoch(&model, None, &mut store, world());
+            }
+            store.params_fingerprint()
+        });
+        for kill_after in 1..=EPOCHS {
+            for corrupt_newest in [false, true] {
+                // Fallback needs an older slot to fall back to.
+                if corrupt_newest && kill_after == 1 {
+                    continue;
+                }
+                let scratch =
+                    Scratch::new(&format!("kill-{threads}t-{kill_after}-{corrupt_newest}"));
+                let ring = CheckpointRing::new(&scratch.0, "run", 3);
+                with_threads(threads, || {
+                    // Phase 1: train to the kill point, checkpointing every
+                    // epoch; then the process "dies" (state is dropped).
+                    let (mut store, model) = build(5);
+                    let mut trainer = Trainer::new(chaos_cfg());
+                    while trainer.epoch() < kill_after {
+                        trainer.train_epoch(&model, None, &mut store, world());
+                        trainer
+                            .save_to_ring(&store, &ring, &RetryPolicy::default())
+                            .expect("ring save");
+                    }
+                });
+                if corrupt_newest {
+                    let newest = ring.slot_path(kill_after);
+                    let mut bytes = std::fs::read(&newest).expect("read newest slot");
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0xFF;
+                    std::fs::write(&newest, &bytes).expect("corrupt newest slot");
+                }
+                let final_fp = with_threads(threads, || {
+                    // Phase 2: resurrect from the newest valid slot.
+                    let resumed = ring
+                        .resume_newest_valid(&chaos_cfg(), || build(5))
+                        .expect("ring scan")
+                        .expect("ring must hold a valid slot");
+                    let expect_epoch = if corrupt_newest { kill_after - 1 } else { kill_after };
+                    assert_eq!(resumed.trainer.epoch(), expect_epoch, "resumed epoch");
+                    let (mut store, model, mut trainer) =
+                        (resumed.store, resumed.extra, resumed.trainer);
+                    while trainer.epoch() < EPOCHS {
+                        trainer.train_epoch(&model, None, &mut store, world());
+                    }
+                    store.params_fingerprint()
+                });
+                assert_eq!(
+                    final_fp, baseline,
+                    "kill after {kill_after} (corrupt newest: {corrupt_newest}) at {threads} \
+                     threads must resume bitwise identical"
+                );
+            }
+        }
+    }
+}

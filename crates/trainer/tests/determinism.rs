@@ -71,7 +71,7 @@ fn train_epoch_loss_is_bit_identical_across_runs() {
         let cfg = quick_cfg(11);
         let mut adam = Adam::new(cfg.lr, cfg.l2);
         let mut epoch_rng = Rng::new(cfg.seed);
-        let loss = train_epoch(
+        let out = train_epoch(
             &model,
             None,
             &mut store,
@@ -81,7 +81,7 @@ fn train_epoch_loss_is_bit_identical_across_runs() {
             &mut epoch_rng,
             true,
         );
-        loss.to_bits()
+        out.mean_loss.to_bits()
     };
     assert_eq!(run(), run(), "mean epoch loss must be bit-reproducible");
 }
@@ -212,7 +212,7 @@ fn train_epoch_loss_bit_identical_across_thread_counts() {
         let mut adam = Adam::new(cfg.lr, cfg.l2);
         let mut epoch_rng = Rng::new(cfg.seed);
         miss_parallel::with_threads(threads, || {
-            let loss = train_epoch(
+            let out = train_epoch(
                 &model,
                 None,
                 &mut store,
@@ -222,7 +222,7 @@ fn train_epoch_loss_bit_identical_across_thread_counts() {
                 &mut epoch_rng,
                 true,
             );
-            (loss.to_bits(), store.params_fingerprint())
+            (out.mean_loss.to_bits(), store.params_fingerprint())
         })
     };
     let serial = run(1);

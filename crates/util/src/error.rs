@@ -68,6 +68,13 @@ pub enum MissError {
         /// Count the artifact carries.
         got: usize,
     },
+    /// A computed quantity (loss, gradient) came out NaN/Inf: the step that
+    /// produced it must not be committed to optimiser state. The trainer's
+    /// guard raises this, logs it, and skips the step (DESIGN.md §9).
+    NonFinite {
+        /// What was found non-finite (e.g. `"minibatch 17 loss"`).
+        context: String,
+    },
     /// An underlying I/O failure (file missing, permission, disk).
     Io(std::io::Error),
 }
@@ -78,6 +85,37 @@ impl MissError {
         MissError::Corrupt {
             section,
             reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`MissError::NonFinite`].
+    pub fn non_finite(context: impl Into<String>) -> Self {
+        MissError::NonFinite {
+            context: context.into(),
+        }
+    }
+
+    /// Process exit code for this failure class, shared by every binary so
+    /// scripts can branch on *why* a run died (documented in `miss-train
+    /// --help` and README):
+    ///
+    /// * `3` — bad artifact: corrupt bytes, unsupported version, or an
+    ///   architecture mismatch (`Corrupt`, `UnsupportedVersion`,
+    ///   `UnknownParam`, `CountMismatch`, `ShapeMismatch`). Retrying will not
+    ///   help; point the run at a different checkpoint.
+    /// * `4` — environment: underlying I/O failure (`Io`). Often transient.
+    /// * `5` — numerics: the NaN/Inf guard aborted the run (`NonFinite`).
+    ///
+    /// (`0` is success and `2` is a usage error, per convention.)
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            MissError::Corrupt { .. }
+            | MissError::UnsupportedVersion { .. }
+            | MissError::UnknownParam { .. }
+            | MissError::CountMismatch { .. }
+            | MissError::ShapeMismatch { .. } => 3,
+            MissError::Io(_) => 4,
+            MissError::NonFinite { .. } => 5,
         }
     }
 }
@@ -112,6 +150,9 @@ impl fmt::Display for MissError {
                 f,
                 "checkpoint has {got} {kind}, the store has {expected}"
             ),
+            MissError::NonFinite { context } => {
+                write!(f, "non-finite value rejected: {context}")
+            }
             MissError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -154,6 +195,31 @@ mod tests {
             supported: 1,
         };
         assert!(v.to_string().contains('9'), "{v}");
+    }
+
+    #[test]
+    fn exit_codes_partition_the_taxonomy() {
+        assert_eq!(MissError::corrupt("params", "x").exit_code(), 3);
+        assert_eq!(
+            MissError::UnsupportedVersion { found: 9, supported: 1 }.exit_code(),
+            3
+        );
+        assert_eq!(
+            MissError::UnknownParam { kind: "dense param", name: "w".into() }.exit_code(),
+            3
+        );
+        assert_eq!(
+            MissError::CountMismatch { kind: "dense params", expected: 1, got: 2 }.exit_code(),
+            3
+        );
+        assert_eq!(
+            MissError::ShapeMismatch { context: "w".into(), expected: (1, 1), got: (2, 2) }
+                .exit_code(),
+            3
+        );
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert_eq!(MissError::Io(io).exit_code(), 4);
+        assert_eq!(MissError::non_finite("loss").exit_code(), 5);
     }
 
     #[test]

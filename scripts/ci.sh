@@ -61,6 +61,21 @@ MISS_THREADS=1 cargo test -q -p miss-trainer --test determinism
 echo "==> determinism suite: trainer (default MISS_THREADS)"
 cargo test -q -p miss-trainer --test determinism
 
+# The chaos gate drives the fault-injection matrix (DESIGN.md §9): every
+# fail-point kind — worker panic, NaN loss/grad, corrupt batch, checkpoint
+# write/read crashes — fires under both the pinned and the default thread
+# count, and recovery must land on bitwise-identical weights. The codec
+# crash battery (fail after every byte offset; the old file or no file must
+# survive) is thread-independent and runs once.
+echo "==> chaos gate: trainer fault matrix (MISS_THREADS=1)"
+MISS_THREADS=1 cargo test -q -p miss-trainer --test chaos
+
+echo "==> chaos gate: trainer fault matrix (default MISS_THREADS)"
+cargo test -q -p miss-trainer --test chaos
+
+echo "==> chaos gate: codec crash battery"
+cargo test -q -p miss-codec --test crash
+
 echo "==> benches: cargo bench"
 cargo bench -q
 

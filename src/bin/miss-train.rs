@@ -4,14 +4,21 @@
 //! miss-train stats  --dataset cds|books|alipay|tiny [--scale F]
 //! miss-train train  --dataset cds --model DIN [--miss] [--scale F]
 //!                   [--seed N] [--epochs N] [--out model.ckpt]
-//!                   [--resume model.ckpt]
+//!                   [--resume model.ckpt] [--ring DIR] [--keep K]
 //! miss-train eval   --dataset cds --model DIN --ckpt model.ckpt [--miss]
 //! ```
 //!
 //! With `--out`, training checkpoints to FILE after every epoch; with
 //! `--resume`, it continues from FILE (bitwise identical to the run that
-//! wrote it). Corrupt or mismatched checkpoints exit 1 with the codec's
-//! typed diagnosis.
+//! wrote it). With `--ring DIR`, every epoch lands in its own slot in DIR
+//! (the newest `--keep` slots are retained, default 3) and a restarted run
+//! resumes from the newest slot that still loads — a corrupt file costs one
+//! epoch, not the run.
+//!
+//! Exit codes tell scripts *why* a run died (see `MissError::exit_code`):
+//! `0` success, `2` usage error, `3` bad artifact (corrupt bytes,
+//! unsupported version, architecture mismatch), `4` I/O failure,
+//! `5` non-finite abort (every step rejected by the NaN/Inf guard).
 
 #![allow(clippy::field_reassign_with_default)]
 
@@ -43,13 +50,18 @@ impl Args {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  miss-train stats --dataset <cds|books|alipay|tiny> [--scale F]\n  \
-         miss-train train --dataset <ds> --model <name> [--miss] [--seed N] [--epochs N] [--out FILE] [--resume FILE]\n  \
-         miss-train eval  --dataset <ds> --model <name> --ckpt FILE [--miss]\n\nmodels: {}",
+         miss-train train --dataset <ds> --model <name> [--miss] [--seed N] [--epochs N] [--out FILE] [--resume FILE] [--ring DIR] [--keep K]\n  \
+         miss-train eval  --dataset <ds> --model <name> --ckpt FILE [--miss]\n\nmodels: {}\n\n\
+         --ring DIR keeps the newest K (--keep, default {}) per-epoch checkpoints in DIR\n\
+         and resumes a restarted run from the newest slot that loads.\n\n\
+         exit codes: 0 ok, 2 usage, 3 bad checkpoint (corrupt/version/architecture),\n\
+         4 i/o failure, 5 non-finite abort",
         ALL_BASELINES
             .iter()
             .map(|b| b.label())
             .collect::<Vec<_>>()
-            .join(", ")
+            .join(", "),
+        miss::trainer::RING_KEEP_DEFAULT
     );
     exit(2)
 }
@@ -110,18 +122,31 @@ fn main() {
             }
             e.checkpoint_out = args.get("--out").map(PathBuf::from);
             e.resume_from = args.get("--resume").map(PathBuf::from);
+            e.ring_dir = args.get("--ring").map(PathBuf::from);
+            if let Some(keep) = args.get("--keep") {
+                e.ring_keep = keep.parse().unwrap_or_else(|_| usage());
+            }
             println!("training {} on {} (seed {seed})...", e.label(), dataset.name);
-            let out = if e.checkpoint_out.is_some() || e.resume_from.is_some() {
+            let checkpointed =
+                e.checkpoint_out.is_some() || e.resume_from.is_some() || e.ring_dir.is_some();
+            let out = if checkpointed {
                 match e.run_checkpointed(&dataset, seed) {
                     Ok(out) => out,
                     Err(err) => {
-                        eprintln!("checkpoint error: {err}");
-                        exit(1)
+                        eprintln!("miss-train: {err}");
+                        exit(err.exit_code())
                     }
                 }
             } else {
                 e.run(&dataset, seed)
             };
+            if out.skipped_steps > 0 {
+                eprintln!(
+                    "miss-train: warning: {} minibatch step(s) skipped by the non-finite \
+                     guard; metrics below come from a degraded run",
+                    out.skipped_steps
+                );
+            }
             println!(
                 "test AUC {:.4}  Logloss {:.4}  ({} epochs)",
                 out.test.auc, out.test.logloss, out.epochs
@@ -146,8 +171,8 @@ fn main() {
                 Ok(Some(p)) => println!("checkpoint at epoch {} (adam step {})", p.epoch, p.step),
                 Ok(None) => {}
                 Err(err) => {
-                    eprintln!("checkpoint error: {err}");
-                    exit(1)
+                    eprintln!("miss-train: {err}");
+                    exit(err.exit_code())
                 }
             }
             let r = evaluate(m.as_ref(), &store, &dataset.test, &dataset.schema, 256);

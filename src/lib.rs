@@ -12,6 +12,8 @@
 //! - [`autograd`] — tape-based reverse-mode automatic differentiation;
 //! - [`nn`] — layers, parameter store, Adam optimiser;
 //! - [`codec`] — versioned checkpoint save/load with typed errors;
+//! - [`fault`] — deterministic fail-point registry (`MISS_FAULTS`) for
+//!   chaos-testing the recovery paths;
 //! - [`parallel`] — the deterministic `MISS_THREADS` worker pool;
 //! - [`data`] — the interest-world behavioural simulator and dataset pipeline;
 //! - [`metrics`] — AUC / Logloss;
@@ -25,6 +27,7 @@ pub use miss_autograd as autograd;
 pub use miss_codec as codec;
 pub use miss_core as core;
 pub use miss_data as data;
+pub use miss_fault as fault;
 pub use miss_metrics as metrics;
 pub use miss_models as models;
 pub use miss_nn as nn;
