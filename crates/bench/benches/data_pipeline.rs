@@ -1,14 +1,21 @@
-//! Data-pipeline throughput: world generation, batch assembly, and metric
-//! computation.
+//! Data-pipeline throughput: world generation, batch assembly, metric
+//! computation, and split evaluation (training graph vs frozen engine).
 
 use miss_data::{Batch, Dataset, Sample, WorldConfig};
 use miss_metrics::{auc, logloss};
+use miss_serve::FrozenModel;
 use miss_testkit::bench::{black_box, BenchGroup};
+use miss_trainer::{evaluate, BaseModel, Experiment, SslKind};
 use miss_util::Rng;
 
 fn main() {
     let mut group = BenchGroup::new("data_pipeline");
     group.sample_size(10);
+    // The eval_graph_din / eval_frozen_din pair records the win from routing
+    // eval through the frozen engine: identical scores, but B panels pack
+    // once at freeze time instead of on every batch (small eval batches make
+    // the per-batch repacking cost visible). ci.sh bounds the pair's ratio.
+    group.meta("eval_packing", "eval_graph_din re-packs per batch; eval_frozen_din pre-packs once");
 
     group.bench_function("generate_tiny_world_dataset", |b| {
         b.iter(|| black_box(Dataset::generate(WorldConfig::tiny(), 3)))
@@ -36,6 +43,36 @@ fn main() {
     });
     group.bench_function("logloss_10k", |b| {
         b.iter(|| black_box(logloss(&scores, &labels)))
+    });
+
+    // Split evaluation, graph vs frozen: same scores bit-for-bit, but the
+    // graph path re-packs every GEMM's B panels and grows a tape on each
+    // batch while the frozen engine packed once at freeze time. CI gates on
+    // eval_frozen_din beating eval_graph_din (check_bench --require-faster).
+    let exp = Experiment::new(BaseModel::Din, SslKind::None);
+    let (store, model) = exp.build_model(&dataset.schema, 5);
+    let frozen = FrozenModel::freeze(&store, &dataset.schema, miss_serve::FrozenArch::Din)
+        .expect("DIN freezes");
+    group.bench_function("eval_graph_din", |b| {
+        b.iter(|| {
+            black_box(evaluate(
+                model.as_ref(),
+                &store,
+                &dataset.test,
+                &dataset.schema,
+                16,
+            ))
+        })
+    });
+    group.bench_function("eval_frozen_din", |b| {
+        b.iter(|| {
+            black_box(miss_serve::evaluate_frozen(
+                &frozen,
+                &dataset.test,
+                &dataset.schema,
+                16,
+            ))
+        })
     });
 
     group.finish();

@@ -85,6 +85,11 @@ fn main() {
         })
     });
 
+    // `evaluate_valid_split` times the training-graph eval, which re-packs
+    // every GEMM's B panels on each batch; the serving-side fix is measured
+    // head-to-head in BENCH_data_pipeline.json (eval_graph_din vs
+    // eval_frozen_din, pre-packed at freeze time).
+    group.meta("eval_packing", "per-batch (frozen comparison in BENCH_data_pipeline.json)");
     group.bench_function("evaluate_valid_split", |bch| {
         let mut store = ParamStore::new();
         let mut rng = Rng::new(0);

@@ -28,10 +28,12 @@ mod batch;
 mod config;
 mod dataset;
 mod export;
+mod requests;
 mod transforms;
 mod world;
 
 pub use batch::{Batch, BatchIter};
 pub use config::WorldConfig;
 pub use dataset::{Dataset, DatasetStats, Sample, Schema, SeqField, Split, VocabDef};
+pub use requests::{request_stream, ScoreRequest};
 pub use world::World;

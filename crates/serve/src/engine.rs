@@ -1,0 +1,150 @@
+//! The scoring engine: deterministic request micro-batching over the
+//! frozen forward, plus the frozen evaluation path.
+//!
+//! **Batch formation is a pure function of the queue** (DESIGN.md §10):
+//! requests are taken in arrival order and a batch is flushed when adding
+//! the next request would push it past `max_batch` candidates, or when the
+//! queue drains. No wall-clock timers, no thread-dependent state — the same
+//! queue always forms the same batches. A request larger than `max_batch`
+//! becomes a batch of its own rather than splitting.
+//!
+//! **Batching never changes a score.** Every op in the frozen forward is
+//! row-independent (GEMM accumulation chains, softmax rows, bmm blocks and
+//! gathers are all per-sample), so a candidate's score does not depend on
+//! which other candidates share its batch — micro-batched results are
+//! bit-identical to scoring each request alone, which is what makes
+//! batching a pure throughput knob. `tests/equivalence.rs` pins this for
+//! arbitrary request groupings and `MISS_THREADS` {1, 2, 4}.
+
+use crate::freeze::FrozenModel;
+use miss_data::{Batch, Sample, Schema, ScoreRequest};
+use miss_trainer::EvalResult;
+use miss_util::profile;
+
+/// Micro-batching scoring engine over a frozen model.
+pub struct ScoreEngine<'a> {
+    model: &'a FrozenModel,
+    max_batch: usize,
+}
+
+impl<'a> ScoreEngine<'a> {
+    /// Create an engine flushing batches at `max_batch` candidates.
+    /// `max_batch = 1` degenerates to one-request-at-a-time scoring (the
+    /// bench's solo baseline) through the identical code path.
+    pub fn new(model: &'a FrozenModel, max_batch: usize) -> ScoreEngine<'a> {
+        assert!(max_batch > 0, "max_batch must be positive");
+        ScoreEngine { model, max_batch }
+    }
+
+    /// The deterministic batch-formation rule: request index ranges
+    /// `[start, end)` such that each batch holds at most `max_batch`
+    /// candidates (unless a single oversized request forces more). Public
+    /// so the serving bench can time batches individually; scoring goes
+    /// through [`ScoreEngine::score_queue`].
+    pub fn form_batches(&self, requests: &[ScoreRequest]) -> Vec<(usize, usize)> {
+        let _bf = profile::scope("serve.batch_form");
+        let mut batches = Vec::new();
+        let mut start = 0;
+        let mut filled = 0;
+        for (i, r) in requests.iter().enumerate() {
+            let c = r.num_candidates();
+            if filled > 0 && filled + c > self.max_batch {
+                batches.push((start, i));
+                start = i;
+                filled = 0;
+            }
+            filled += c;
+        }
+        if filled > 0 {
+            batches.push((start, requests.len()));
+        }
+        batches
+    }
+
+    /// Score a queue of requests. Returns the sigmoid scores of every
+    /// candidate, flattened in (request, candidate) order — the caller
+    /// slices per-request runs off with each request's candidate count.
+    ///
+    /// Batches score concurrently over the `miss-parallel` pool and the
+    /// per-batch score vectors concatenate in batch order, so the output is
+    /// bit-identical for any `MISS_THREADS` value *and* any `max_batch`.
+    pub fn score_queue(&self, requests: &[ScoreRequest]) -> Vec<f32> {
+        let batches = self.form_batches(requests);
+        let per_batch = miss_parallel::par_map(batches.len(), |bi| {
+            let (r0, r1) = batches[bi];
+            self.score_batch(&requests[r0..r1])
+        });
+        let mut all = Vec::with_capacity(per_batch.iter().map(Vec::len).sum());
+        for v in per_batch {
+            all.extend_from_slice(&v);
+        }
+        all
+    }
+
+    /// Score one formed batch: assemble, forward, sigmoid.
+    fn score_batch(&self, requests: &[ScoreRequest]) -> Vec<f32> {
+        let refs: Vec<&Sample> = requests.iter().flat_map(|r| r.samples.iter()).collect();
+        let batch = Batch::from_samples(&refs, self.model.schema());
+        let logits = self.model.forward(&batch);
+        let _ep = profile::scope("serve.epilogue");
+        let mut out = Vec::with_capacity(refs.len());
+        miss_util::sigmoid_extend(logits.as_slice(), &mut out);
+        out
+    }
+}
+
+/// Sigmoid scores for every sample through the frozen forward, mirroring
+/// the trainer's eval chunking exactly (same chunk boundaries, same
+/// concatenation order), so metrics match `miss_trainer::evaluate`
+/// bit-for-bit while skipping the per-call GEMM packing and tape overhead.
+fn frozen_scores(
+    model: &FrozenModel,
+    samples: &[Sample],
+    schema: &Schema,
+    batch_size: usize,
+) -> Vec<f32> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let n = samples.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nb = n.div_ceil(batch_size);
+    let chunk = miss_parallel::fixed_chunk_len(nb, 1);
+    let n_chunks = nb.div_ceil(chunk);
+    let per_chunk = miss_parallel::par_map(n_chunks, |ci| {
+        let b0 = ci * chunk;
+        let b1 = (b0 + chunk).min(nb);
+        let mut out = Vec::with_capacity((b1 - b0) * batch_size);
+        for bi in b0..b1 {
+            let lo = bi * batch_size;
+            let hi = (lo + batch_size).min(n);
+            let refs: Vec<&Sample> = samples[lo..hi].iter().collect();
+            let batch = Batch::from_samples(&refs, schema);
+            let logits = model.forward(&batch);
+            miss_util::sigmoid_extend(logits.as_slice(), &mut out);
+        }
+        out
+    });
+    let mut all = Vec::with_capacity(n);
+    for v in per_chunk {
+        all.extend_from_slice(&v);
+    }
+    all
+}
+
+/// AUC / Logloss over a split through the frozen forward. Bit-identical to
+/// `miss_trainer::evaluate` on the store the model froze from, without
+/// re-packing GEMM panels on every batch.
+pub fn evaluate_frozen(
+    model: &FrozenModel,
+    samples: &[Sample],
+    schema: &Schema,
+    batch_size: usize,
+) -> EvalResult {
+    let scores = frozen_scores(model, samples, schema, batch_size);
+    let labels: Vec<f32> = samples.iter().map(|s| s.label).collect();
+    EvalResult {
+        auc: miss_metrics::auc(&scores, &labels),
+        logloss: miss_metrics::logloss(&scores, &labels),
+    }
+}

@@ -1,0 +1,194 @@
+//! Tape-free forward passes over frozen models.
+//!
+//! Every function here replicates its training counterpart *op-for-op*:
+//! each autograd tape op computes its forward by delegating to one
+//! `miss_tensor` method, so calling those same methods in the same order on
+//! the same inputs reproduces the training-graph logits bit-for-bit (the
+//! contract `tests/equivalence.rs` pins for DIN/DIEN/IPNN ± MISS). Dropout
+//! is the identity in eval mode and DIEN's auxiliary-loss state is a
+//! training-only side channel, so neither appears here.
+
+use crate::freeze::{FrozenDien, FrozenDin, FrozenIpnn, FrozenModel, FrozenTables};
+use miss_data::Batch;
+use miss_tensor::Tensor;
+
+impl FrozenModel {
+    /// CTR logits (`B×1`) for a batch, bit-identical to the training-graph
+    /// eval-mode forward.
+    pub fn forward(&self, batch: &Batch) -> Tensor {
+        match self {
+            FrozenModel::Din(m) => m.forward(batch),
+            FrozenModel::Dien(m) => m.forward(batch),
+            FrozenModel::Ipnn(m) => m.forward(batch),
+        }
+    }
+}
+
+/// The batch validity mask as a `(B·L)×1` column, as the embedding layer
+/// builds it.
+fn mask_col(batch: &Batch) -> Tensor {
+    Tensor::from_vec(batch.mask.len(), 1, batch.mask.clone())
+}
+
+/// Embed one sequential field: gather then zero padded rows via the mask.
+fn embed_seq(emb: &FrozenTables, batch: &Batch, schema_vocab: usize, field: usize) -> Tensor {
+    let e = emb.gather(schema_vocab, &batch.seq[field]);
+    e.mul_col_broadcast(&mask_col(batch))
+}
+
+/// Every categorical field's embedding, in schema order.
+fn embed_all_cat(emb: &FrozenTables, batch: &Batch, cat_fields: &[(String, usize)]) -> Vec<Tensor> {
+    cat_fields
+        .iter()
+        .enumerate()
+        .map(|(f, &(_, vocab))| emb.gather(vocab, &batch.cat[f]))
+        .collect()
+}
+
+/// Masked mean pooling of a `(B·L)×K` sequence embedding into `B×K`.
+fn mean_pool(seq_emb: &Tensor, batch: &Batch) -> Tensor {
+    let b = batch.size;
+    let l = batch.seq_len;
+    let ones = Tensor::full(b, l, 1.0);
+    let sums = ones.bmm_nn(seq_emb, b);
+    let inv = Tensor::from_vec(
+        b,
+        1,
+        (0..b).map(|i| 1.0 / batch.hist_len(i).max(1) as f32).collect(),
+    );
+    sums.mul_col_broadcast(&inv)
+}
+
+/// Row softmax with −∞ masking of padded positions.
+fn masked_softmax_rows(scores: &Tensor, mask: &[f32]) -> Tensor {
+    let (b, l) = scores.shape();
+    let neg = Tensor::from_vec(
+        b,
+        l,
+        mask.iter().map(|&m| if m > 0.0 { 0.0 } else { -1e9 }).collect(),
+    );
+    scores.add(&neg).row_softmax()
+}
+
+/// DIN's local activation unit pooling over the behaviour sequence.
+fn attention_pool(
+    seq_emb: &Tensor,
+    cand_emb: &Tensor,
+    batch: &Batch,
+    att_mlp: &crate::freeze::FrozenMlp,
+) -> Tensor {
+    let b = batch.size;
+    let l = batch.seq_len;
+    let cand_t = cand_emb.repeat_rows_interleave(l);
+    let diff = seq_emb.sub(&cand_t);
+    let prod = seq_emb.mul(&cand_t);
+    let att_in = Tensor::concat_cols(&[seq_emb, &cand_t, &diff, &prod]);
+    let scores = att_mlp.forward(&att_in); // (B·L)×1
+    let scores2d = scores.reshape(b, l);
+    let weights = masked_softmax_rows(&scores2d, &batch.mask);
+    weights.bmm_nn(seq_emb, b)
+}
+
+impl FrozenDin {
+    fn forward(&self, batch: &Batch) -> Tensor {
+        let mut parts = embed_all_cat(&self.emb, batch, &self.schema.cat_fields);
+        for j in 0..self.schema.num_seq() {
+            let seq = embed_seq(&self.emb, batch, self.schema.seq_fields[j].vocab, j);
+            let cand = parts[self.cand_for_seq[j]].clone();
+            let pooled = attention_pool(&seq, &cand, batch, &self.att[j]);
+            let mean = mean_pool(&seq, batch);
+            let interact_att = pooled.mul(&cand);
+            let interact_mean = mean.mul(&cand);
+            let match_att = interact_att.row_sum();
+            let match_mean = interact_mean.row_sum();
+            parts.push(pooled);
+            parts.push(mean);
+            parts.push(interact_att);
+            parts.push(match_att);
+            parts.push(match_mean);
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let flat = Tensor::concat_cols(&refs);
+        self.deep.forward(&flat)
+    }
+}
+
+impl FrozenDien {
+    fn forward(&self, batch: &Batch) -> Tensor {
+        let b = batch.size;
+        let l = batch.seq_len;
+        let k = self.emb.dim;
+        let seq = embed_seq(&self.emb, batch, self.schema.seq_fields[0].vocab, 0);
+        let cand = self.emb.gather(self.schema.cat_fields[1].1, &batch.cat[1]);
+
+        // Interest extraction: masked GRU over the sequence.
+        let mut h = Tensor::zeros(b, k);
+        let mut hidden = Vec::with_capacity(l);
+        for t in 0..l {
+            let step_rows: Vec<usize> = (0..b).map(|i| i * l + t).collect();
+            let x_t = seq.gather_rows(&step_rows);
+            let h_new = self.gru.step(&x_t, &h);
+            let m = step_mask(batch, t);
+            let keep_new = h_new.mul_col_broadcast(&m);
+            let inv = m.scale(-1.0).map(|v| v + 1.0);
+            let keep_old = h.mul_col_broadcast(&inv);
+            h = keep_new.add(&keep_old);
+            hidden.push(h.clone());
+        }
+
+        // Attention of the candidate over extracted interests.
+        let score_cols: Vec<Tensor> = hidden.iter().map(|ht| ht.mul(&cand).row_sum()).collect();
+        let score_refs: Vec<&Tensor> = score_cols.iter().collect();
+        let scores = Tensor::concat_cols(&score_refs); // B×L
+        let weights = masked_softmax_rows(&scores, &batch.mask);
+
+        // Interest evolution with AUGRU.
+        let mut hv = Tensor::zeros(b, k);
+        for (t, x_t) in hidden.iter().enumerate() {
+            let a_t = weights.slice_cols(t, t + 1);
+            let h_new = self.augru.step_attn(x_t, &hv, &a_t);
+            let m = step_mask(batch, t);
+            let keep_new = h_new.mul_col_broadcast(&m);
+            let inv = m.scale(-1.0).map(|v| v + 1.0);
+            let keep_old = hv.mul_col_broadcast(&inv);
+            hv = keep_new.add(&keep_old);
+        }
+
+        let mut parts = embed_all_cat(&self.emb, batch, &self.schema.cat_fields);
+        let cat_seq = embed_seq(&self.emb, batch, self.schema.seq_fields[1].vocab, 1);
+        parts.push(mean_pool(&cat_seq, batch));
+        parts.push(hv);
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let flat = Tensor::concat_cols(&refs);
+        self.deep.forward(&flat)
+    }
+}
+
+/// Step-`t` validity mask as a `B×1` column.
+fn step_mask(batch: &Batch, t: usize) -> Tensor {
+    let b = batch.size;
+    let l = batch.seq_len;
+    Tensor::from_vec(b, 1, (0..b).map(|i| batch.mask[i * l + t]).collect())
+}
+
+impl FrozenIpnn {
+    fn forward(&self, batch: &Batch) -> Tensor {
+        // Field vectors: every categorical embedding plus every sequence
+        // mean-pooled, in schema order.
+        let mut fields = embed_all_cat(&self.emb, batch, &self.schema.cat_fields);
+        for j in 0..self.schema.num_seq() {
+            let seq = embed_seq(&self.emb, batch, self.schema.seq_fields[j].vocab, j);
+            fields.push(mean_pool(&seq, batch));
+        }
+        // z-part: raw field vectors; p-part: all pairwise inner products.
+        let mut parts: Vec<Tensor> = fields.clone();
+        for i in 0..fields.len() {
+            for j in (i + 1)..fields.len() {
+                parts.push(fields[i].mul(&fields[j]).row_sum());
+            }
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let flat = Tensor::concat_cols(&refs);
+        self.deep.forward(&flat)
+    }
+}

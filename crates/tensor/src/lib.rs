@@ -21,4 +21,5 @@ mod ops;
 mod tensor;
 
 pub use kernels::{detected_isa, GemmEpilogue};
+pub use ops::PackedB;
 pub use tensor::Tensor;

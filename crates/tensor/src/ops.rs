@@ -39,6 +39,46 @@ fn block_chunk_len(blocks: usize, macs: usize) -> usize {
     }
 }
 
+/// A `k×n` right-hand operand packed once into the kernel's panel layout so
+/// repeated multiplies against it (frozen inference, eval loops) skip the
+/// per-call pack that [`Tensor::matmul_nn_ep`] performs.
+///
+/// On FMA machines `panels` holds exactly the bytes `pack_b_from_nn` would
+/// produce for this operand, so a prepacked multiply is bit-identical to the
+/// pack-per-call path. On non-FMA machines the kernels read row-major B
+/// directly, so we keep a plain copy instead; `has_fma()` is constant for
+/// the life of the process, which makes the choice at pack time safe.
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl PackedB {
+    /// Pack a `k×n` tensor. The packed bytes depend only on the operand's
+    /// values and shape — never on thread count.
+    pub fn pack(b: &Tensor) -> PackedB {
+        let (k, n) = b.shape();
+        let mut data = Vec::new();
+        if kernels::has_fma() {
+            kernels::pack_b_from_nn(b.as_slice(), k, n, &mut data);
+        } else {
+            data.extend_from_slice(b.as_slice());
+        }
+        PackedB { k, n, data }
+    }
+
+    /// Rows of the packed operand (the GEMM inner dimension).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns of the packed operand (the GEMM output width).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
 impl Tensor {
     // ------------------------------------------------------------------
     // Matrix multiplication
@@ -47,6 +87,42 @@ impl Tensor {
     /// `self (m×k) @ other (k×n) -> m×n`, tiled with parallel row chunks.
     pub fn matmul_nn(&self, other: &Tensor) -> Tensor {
         self.matmul_nn_ep(other, GemmEpilogue::None)
+    }
+
+    /// [`Tensor::matmul_nn_ep`] against a [`PackedB`] packed ahead of time.
+    /// Chunking, kernel dispatch, and accumulation order match the
+    /// pack-per-call path exactly, so the result is bit-identical to
+    /// `self.matmul_nn_ep(b, ep)` for the tensor `b` that was packed.
+    pub fn matmul_nn_ep_prepacked(&self, other: &PackedB, ep: GemmEpilogue) -> Tensor {
+        let (m, k) = self.shape();
+        let (k2, n) = (other.k, other.n);
+        assert_eq!(k, k2, "matmul_nn_ep_prepacked inner dims {k} vs {k2}");
+        if let Some(b) = ep.bias() {
+            assert_eq!(b.len(), n, "epilogue bias width");
+        }
+        let mut out = Tensor::zeros(m, n);
+        if out.is_empty() {
+            return out;
+        }
+        let a = self.as_slice();
+        let chunk_rows = row_chunk_len(m, m * k * n);
+        if kernels::has_fma() {
+            let pb: &[f32] = &other.data;
+            miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |_, start, c| {
+                let r0 = start / n;
+                let rows = c.len() / n;
+                kernels::gemm_fma_rowmajor(&a[r0 * k..(r0 + rows) * k], pb, c, rows, k, n, &ep);
+            });
+            return out;
+        }
+        let b: &[f32] = &other.data;
+        miss_parallel::par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |_, start, c| {
+            let r0 = start / n;
+            let rows = c.len() / n;
+            kernels::gemm_nn(&a[r0 * k..(r0 + rows) * k], b, c, rows, k, n);
+            kernels::apply_epilogue(c, n, &ep);
+        });
+        out
     }
 
     /// [`Tensor::matmul_nn`] with a fused epilogue: bias add and activation

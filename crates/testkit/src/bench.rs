@@ -33,6 +33,8 @@ pub struct CaseStats {
     pub median_ns: u64,
     /// 95th-percentile wall-clock.
     pub p95_ns: u64,
+    /// 99th-percentile wall-clock — the tail the serving bench reports.
+    pub p99_ns: u64,
     /// Arithmetic mean.
     pub mean_ns: u64,
     /// Fastest iteration.
@@ -139,6 +141,30 @@ impl BenchGroup {
         self
     }
 
+    /// Record a case from timings measured *outside* the harness — e.g. the
+    /// serving bench, which times every request in one open-loop run and
+    /// reports the per-request latency distribution rather than iterating a
+    /// closure. The samples route through the same summary as
+    /// [`BenchGroup::bench_function`]; the [`MIN_SAMPLES`] floor applies.
+    pub fn record_case(&mut self, case: &str, times_ns: &mut Vec<u64>) -> &mut Self {
+        assert!(
+            times_ns.len() >= MIN_SAMPLES,
+            "record_case `{case}` needs at least {MIN_SAMPLES} samples, got {}",
+            times_ns.len()
+        );
+        let stats = summarise(case, times_ns);
+        println!(
+            "{}/{:<32} median {:>12}  p95 {:>12}  ({} iters)",
+            self.name,
+            stats.name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p95_ns),
+            stats.iters,
+        );
+        self.results.push(stats);
+        self
+    }
+
     /// Write `BENCH_<group>.json` and print where it landed.
     pub fn finish(&mut self) {
         let dir = output_dir();
@@ -169,11 +195,12 @@ impl BenchGroup {
         for (i, c) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"iters\": {}, \"median_ns\": {}, \"p95_ns\": {}, \
-                 \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+                 \"p99_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}\n",
                 escape(&c.name),
                 c.iters,
                 c.median_ns,
                 c.p95_ns,
+                c.p99_ns,
                 c.mean_ns,
                 c.min_ns,
                 c.max_ns,
@@ -193,14 +220,16 @@ fn summarise(name: &str, times: &mut [u64]) -> CaseStats {
     } else {
         (times[n / 2 - 1] + times[n / 2]) / 2
     };
-    // Nearest-rank p95, clamped to the last sample.
+    // Nearest-rank percentiles, clamped to the last sample.
     let p95_ns = times[(((n as f64) * 0.95).ceil() as usize).clamp(1, n) - 1];
+    let p99_ns = times[(((n as f64) * 0.99).ceil() as usize).clamp(1, n) - 1];
     let mean_ns = times.iter().sum::<u64>() / n as u64;
     CaseStats {
         name: name.to_string(),
         iters: n,
         median_ns,
         p95_ns,
+        p99_ns,
         mean_ns,
         min_ns: times[0],
         max_ns: times[n - 1],
@@ -243,6 +272,7 @@ mod tests {
         assert_eq!(s.iters, 100);
         assert_eq!(s.median_ns, 50); // (50 + 51) / 2 truncated
         assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
         assert_eq!(s.min_ns, 1);
         assert_eq!(s.max_ns, 100);
         assert_eq!(s.mean_ns, 50);
@@ -254,6 +284,19 @@ mod tests {
         let s = summarise("one", &mut times);
         assert_eq!(s.median_ns, 7);
         assert_eq!(s.p95_ns, 7);
+        assert_eq!(s.p99_ns, 7);
+    }
+
+    #[test]
+    fn record_case_summarises_external_samples() {
+        let mut g = BenchGroup::new("unit3");
+        let mut times: Vec<u64> = (1..=100).rev().collect();
+        g.record_case("latency", &mut times);
+        assert_eq!(g.results.len(), 1);
+        assert_eq!(g.results[0].iters, 100);
+        assert_eq!(g.results[0].median_ns, 50);
+        assert_eq!(g.results[0].p99_ns, 99);
+        assert!(g.to_json().contains("\"p99_ns\": 99"));
     }
 
     #[test]
@@ -265,6 +308,7 @@ mod tests {
             iters: 3,
             median_ns: 10,
             p95_ns: 12,
+            p99_ns: 12,
             mean_ns: 10,
             min_ns: 9,
             max_ns: 12,

@@ -214,6 +214,21 @@ impl Experiment {
         format!("{}{}", self.base.label(), self.ssl.suffix())
     }
 
+    /// Register this experiment's parameters exactly as a training run with
+    /// `seed` would — same base-then-SSL order, same init RNG stream — and
+    /// return the populated store with the built model. A checkpoint written
+    /// by that training run loads into the returned store bit-for-bit; the
+    /// serving freeze step and `miss-train eval` use this to reconstruct the
+    /// architecture a checkpoint expects (including the SSL parameters a
+    /// `--miss` run registers, which a base-only rebuild would miscount).
+    pub fn build_model(&self, schema: &Schema, seed: u64) -> (ParamStore, Box<dyn CtrModel>) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(seed ^ 0xE9);
+        let model = self.base.build(&mut store, schema, &self.model_cfg, &mut rng);
+        let _ssl = self.ssl.build(&mut store, model.embedding(), &mut rng);
+        (store, model)
+    }
+
     /// Run once with the given seed; returns best-validation test metrics.
     pub fn run(&self, dataset: &Dataset, seed: u64) -> FitOutcome {
         let mut store = ParamStore::new();

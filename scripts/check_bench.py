@@ -19,6 +19,10 @@ serial fallback) rather than scheduler jitter.
 Gate flags:
   --require <case>          the named case must be present in the fresh run
   --require-faster <a> <b>  fresh median of <a> must beat fresh median of <b>
+  --require-ratio <a> <b> <r>  fresh median of <a> over fresh median of <b>
+                            must be <= r (a noise-tolerant require-faster:
+                            0.5 demands <a> at least 2x faster than <b>;
+                            1.25 allows <a> to trail <b> by up to 25%)
   --max-ratio <case> <r>    fresh/baseline median of <case> must be <= r
                             (r < 1 demands an improvement, e.g. 0.75 locks
                             in a >= 25% speedup over the committed baseline)
@@ -31,6 +35,7 @@ Baseline maintenance:
 Usage: scripts/check_bench.py <fresh.json> <baseline.json> [tolerance]
                               [--require <case>]...
                               [--require-faster <a> <b>]...
+                              [--require-ratio <a> <b> <r>]...
                               [--max-ratio <case> <r>]...
        scripts/check_bench.py --update-baseline <baseline.json> <fresh.json>...
 """
@@ -120,6 +125,7 @@ def main():
 
     required = [a[0] for a in pop_flag(args, "--require", 1)]
     faster = pop_flag(args, "--require-faster", 2)
+    pair_ratios = [(a, b, float(r)) for a, b, r in pop_flag(args, "--require-ratio", 3)]
     ratios = [(case, float(r)) for case, r in pop_flag(args, "--max-ratio", 2)]
     if len(args) < 2:
         sys.exit(__doc__)
@@ -148,6 +154,21 @@ def main():
             )
         else:
             print(f"{a} beats {b}: {fresh[a]} < {fresh[b]} ns  ok")
+
+    for a, b, r in pair_ratios:
+        if a not in fresh or b not in fresh:
+            missing = [n for n in (a, b) if n not in fresh]
+            hard_errors.append(
+                f"--require-ratio case(s) {missing} missing from {fresh_path}"
+            )
+        else:
+            ratio = fresh[a] / fresh[b] if fresh[b] else float("inf")
+            if ratio > r:
+                hard_errors.append(
+                    f"`{a}` / `{b}` at x{ratio:.2f} exceeds --require-ratio {r}"
+                )
+            else:
+                print(f"{a} / {b} x{ratio:.2f} <= {r}  ok")
 
     for case, r in ratios:
         if case not in fresh:

@@ -5,8 +5,14 @@
 //! miss-train train  --dataset cds --model DIN [--miss] [--scale F]
 //!                   [--seed N] [--epochs N] [--out model.ckpt]
 //!                   [--resume model.ckpt] [--ring DIR] [--keep K]
-//! miss-train eval   --dataset cds --model DIN --ckpt model.ckpt [--miss]
+//! miss-train eval   --dataset cds --model DIN --ckpt model.ckpt [--miss] [--seed N]
 //! ```
+//!
+//! `eval` rebuilds the exact parameter registration of the training run —
+//! pass the same `--model`/`--miss`/`--seed` — so MISS checkpoints load
+//! bit-for-bit; DIN/DIEN/IPNN then score through the frozen serving engine
+//! (identical bits, pre-packed GEMM panels), other models through the
+//! training graph.
 //!
 //! With `--out`, training checkpoints to FILE after every epoch; with
 //! `--resume`, it continues from FILE (bitwise identical to the run that
@@ -24,9 +30,7 @@
 
 use miss::core::MissConfig;
 use miss::data::{Dataset, WorldConfig};
-use miss::nn::ParamStore;
 use miss::trainer::{evaluate, BaseModel, Experiment, SslKind, ALL_BASELINES};
-use miss::util::Rng;
 use std::path::PathBuf;
 use std::process::exit;
 
@@ -51,7 +55,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  miss-train stats --dataset <cds|books|alipay|tiny> [--scale F]\n  \
          miss-train train --dataset <ds> --model <name> [--miss] [--seed N] [--epochs N] [--out FILE] [--resume FILE] [--ring DIR] [--keep K]\n  \
-         miss-train eval  --dataset <ds> --model <name> --ckpt FILE [--miss]\n\nmodels: {}\n\n\
+         miss-train eval  --dataset <ds> --model <name> --ckpt FILE [--miss] [--seed N]\n\nmodels: {}\n\n\
          --ring DIR keeps the newest K (--keep, default {}) per-epoch checkpoints in DIR\n\
          and resumes a restarted run from the newest slot that loads.\n\n\
          exit codes: 0 ok, 2 usage, 3 bad checkpoint (corrupt/version/architecture),\n\
@@ -158,24 +162,45 @@ fn main() {
         "eval" => {
             let dataset = Dataset::generate(world(&args), 0xDA7A);
             let base = model(&args);
-            let ckpt = args.get("--ckpt").unwrap_or_else(|| usage());
-            let mut store = ParamStore::new();
-            let mut rng = Rng::new(0xE9);
-            let m = base.build(
-                &mut store,
-                &dataset.schema,
-                &miss::models::ModelConfig::default(),
-                &mut rng,
-            );
-            match miss::codec::load_from_path(&PathBuf::from(ckpt), &mut store) {
-                Ok(Some(p)) => println!("checkpoint at epoch {} (adam step {})", p.epoch, p.step),
-                Ok(None) => {}
-                Err(err) => {
-                    eprintln!("miss-train: {err}");
-                    exit(err.exit_code())
+            let ssl = if args.has("--miss") {
+                SslKind::Miss(MissConfig::default())
+            } else {
+                SslKind::None
+            };
+            let seed: u64 = args.get("--seed").map(|s| s.parse().unwrap()).unwrap_or(0);
+            let exp = Experiment::new(base, ssl);
+            let ckpt = PathBuf::from(args.get("--ckpt").unwrap_or_else(|| usage()));
+            // Freezable architectures evaluate through the serving engine's
+            // frozen forward — same bits as the training-graph eval without
+            // re-packing GEMM panels every batch. Everything else falls back
+            // to the graph path.
+            let r = if miss::serve::FrozenArch::from_label(base.label()).is_some() {
+                match miss::serve::load_frozen(&ckpt, &exp, &dataset.schema, seed) {
+                    Ok((frozen, progress)) => {
+                        if let Some(p) = progress {
+                            println!("checkpoint at epoch {} (adam step {})", p.epoch, p.step);
+                        }
+                        miss::serve::evaluate_frozen(&frozen, &dataset.test, &dataset.schema, 256)
+                    }
+                    Err(err) => {
+                        eprintln!("miss-train: {err}");
+                        exit(err.exit_code())
+                    }
                 }
-            }
-            let r = evaluate(m.as_ref(), &store, &dataset.test, &dataset.schema, 256);
+            } else {
+                let (mut store, m) = exp.build_model(&dataset.schema, seed);
+                match miss::codec::load_from_path(&ckpt, &mut store) {
+                    Ok(Some(p)) => {
+                        println!("checkpoint at epoch {} (adam step {})", p.epoch, p.step)
+                    }
+                    Ok(None) => {}
+                    Err(err) => {
+                        eprintln!("miss-train: {err}");
+                        exit(err.exit_code())
+                    }
+                }
+                evaluate(m.as_ref(), &store, &dataset.test, &dataset.schema, 256)
+            };
             println!("test AUC {:.4}  Logloss {:.4}", r.auc, r.logloss);
         }
         _ => usage(),

@@ -19,7 +19,8 @@
 //! - [`metrics`] — AUC / Logloss;
 //! - [`models`] — the thirteen baseline CTR models (LR … FiGNN);
 //! - [`core`] — the MISS framework itself plus the SSL comparison methods;
-//! - [`trainer`] — training loops, early stopping, multi-seed evaluation.
+//! - [`trainer`] — training loops, early stopping, multi-seed evaluation;
+//! - [`serve`] — frozen-graph inference engine with request micro-batching.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
@@ -32,6 +33,7 @@ pub use miss_metrics as metrics;
 pub use miss_models as models;
 pub use miss_nn as nn;
 pub use miss_parallel as parallel;
+pub use miss_serve as serve;
 pub use miss_tensor as tensor;
 pub use miss_trainer as trainer;
 pub use miss_util as util;
