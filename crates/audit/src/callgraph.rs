@@ -1,0 +1,206 @@
+//! Layer 3 of the analyzer: a workspace-wide call graph with reachability.
+//!
+//! Resolution is deliberately *conservative by name* — soundness over
+//! precision. The contract, which DESIGN.md §7 documents and R7 relies on:
+//!
+//! * **Bare calls** (`f(…)`, `.f(…)`, and `f` passed as a function
+//!   reference) edge to **every** non-test workspace function named `f`,
+//!   whatever its `impl` block. Dynamic dispatch (`&dyn CtrModel`) and
+//!   function pointers are therefore covered without type inference.
+//! * **Qualified calls** `Q::f(…)` resolve strictly when `Q` is a known
+//!   workspace `impl`/`trait` type (edges only to `Q::f`), are dropped when
+//!   `Q` is a known-std container type (`Vec::new` — its body is not
+//!   workspace code and cannot call back except through closures, which are
+//!   attributed lexically to their defining function), and fall back to
+//!   bare-name resolution for anything else (e.g. UFCS trait calls).
+//! * **Module-qualified calls** (`miss_util::sigmoid(…)`, lowercase
+//!   qualifier) edge to free functions with that name.
+//! * **Indirect calls** (`(expr)(…)`, `xs[i](…)`) are unresolvable: the
+//!   calling function is treated as reaching *everything* unless the
+//!   resulting findings are allowlisted.
+//! * Names that match no workspace function are **external** (std or
+//!   dependency-free built-ins): their bodies contain no workspace code, so
+//!   they contribute no edges.
+//!
+//! Test functions (`#[cfg(test)]` regions, `tests/` files) are excluded
+//! from the node set entirely — test code may panic freely and must not
+//! become a false call target for production calls.
+
+use crate::syntax::{Callee, FnDef};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Std/core types whose associated functions never execute workspace code
+/// directly (closure arguments are attributed lexically, so dropping these
+/// edges loses no soundness).
+const STD_TYPES: &[&str] = &[
+    "Arc", "AtomicBool", "AtomicU64", "AtomicUsize", "BTreeMap", "BTreeSet", "BinaryHeap",
+    "Box", "BufReader", "BufWriter", "Builder", "Cell", "Command", "Cow", "Cursor", "Duration",
+    "Err", "ExitCode", "File", "HashMap", "HashSet", "Instant", "Iterator", "Layout",
+    "LazyLock", "ManuallyDrop", "MaybeUninit", "Mutex", "None", "NonZeroUsize", "Ok", "Once",
+    "OnceLock", "OpenOptions", "Option", "Ordering", "OsStr", "OsString", "Path", "PathBuf",
+    "PhantomData", "Range", "Rc", "RefCell", "Result", "RwLock", "Some", "Stdio", "String",
+    "SystemTime", "UnsafeCell", "Vec", "VecDeque", "Wrapping",
+];
+
+/// The workspace call graph over a parsed function set.
+pub struct CallGraph<'a> {
+    /// The function set the graph indexes into.
+    pub fns: &'a [FnDef],
+    /// Adjacency: `edges[i]` is sorted and deduped; empty for test fns.
+    edges: Vec<Vec<usize>>,
+    /// Functions containing an indirect call (reach everything).
+    has_indirect: Vec<bool>,
+    /// bare name → non-test fn indices.
+    by_bare: BTreeMap<&'a str, Vec<usize>>,
+    /// qualified name → non-test fn indices.
+    by_qual: BTreeMap<&'a str, Vec<usize>>,
+}
+
+/// Reachability result: a BFS forest over the graph.
+pub struct Reach {
+    /// `parent[i]` is the BFS predecessor; roots point at themselves.
+    /// `None` = unreached.
+    pub parent: Vec<Option<usize>>,
+    /// Reached fn indices in BFS order (deterministic).
+    pub order: Vec<usize>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Build the graph. Deterministic: all indices sorted, maps are BTree.
+    pub fn build(fns: &'a [FnDef]) -> Self {
+        let mut by_bare: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut type_names: BTreeSet<&str> = BTreeSet::new();
+        for (i, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            by_bare.entry(f.name.as_str()).or_default().push(i);
+            by_qual.entry(f.qual.as_str()).or_default().push(i);
+            if let Some((ty, _)) = f.qual.split_once("::") {
+                type_names.insert(ty);
+            }
+        }
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        let mut has_indirect = vec![false; fns.len()];
+        for (i, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let out = &mut edges[i];
+            for call in &f.calls {
+                match &call.callee {
+                    Callee::Indirect => has_indirect[i] = true,
+                    Callee::Bare(name) => {
+                        if let Some(tgts) = by_bare.get(name.as_str()) {
+                            out.extend_from_slice(tgts);
+                        }
+                    }
+                    Callee::Qualified(q, name) => {
+                        if type_names.contains(q.as_str()) {
+                            let qual = format!("{q}::{name}");
+                            if let Some(tgts) = by_qual.get(qual.as_str()) {
+                                out.extend_from_slice(tgts);
+                            }
+                            // No fn `Q::name` in the workspace: a derived or
+                            // std-trait method on a workspace type — no
+                            // workspace body, no edge.
+                        } else if q.chars().next().is_some_and(char::is_lowercase) {
+                            // Module-qualified free-function call.
+                            if let Some(tgts) = by_bare.get(name.as_str()) {
+                                out.extend(
+                                    tgts.iter()
+                                        .copied()
+                                        .filter(|&t| fns[t].qual == fns[t].name),
+                                );
+                            }
+                        } else if !STD_TYPES.contains(&q.as_str()) {
+                            // Unknown uppercase qualifier (e.g. UFCS via a
+                            // trait name): conservative bare fallback.
+                            if let Some(tgts) = by_bare.get(name.as_str()) {
+                                out.extend_from_slice(tgts);
+                            }
+                        }
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+        }
+        CallGraph {
+            fns,
+            edges,
+            has_indirect,
+            by_bare,
+            by_qual,
+        }
+    }
+
+    /// Resolve a root spec: exact qualified name first, bare name fallback.
+    pub fn resolve_root(&self, spec: &str) -> Vec<usize> {
+        if let Some(ids) = self.by_qual.get(spec) {
+            return ids.clone();
+        }
+        self.by_bare.get(spec).cloned().unwrap_or_default()
+    }
+
+    /// BFS from `roots` over the conservative edges. A function with an
+    /// indirect call expands to every non-test function in the workspace.
+    pub fn reach(&self, roots: &[usize]) -> Reach {
+        let mut parent: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        let mut sorted_roots: Vec<usize> = roots.to_vec();
+        sorted_roots.sort_unstable();
+        sorted_roots.dedup();
+        for &r in &sorted_roots {
+            if parent[r].is_none() {
+                parent[r] = Some(r);
+                order.push(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            let visit = |j: usize, parent: &mut Vec<Option<usize>>,
+                             order: &mut Vec<usize>,
+                             queue: &mut std::collections::VecDeque<usize>| {
+                if parent[j].is_none() {
+                    parent[j] = Some(i);
+                    order.push(j);
+                    queue.push_back(j);
+                }
+            };
+            if self.has_indirect[i] {
+                // Unresolvable call: reaches everything (non-test).
+                for (j, f) in self.fns.iter().enumerate() {
+                    if !f.is_test {
+                        visit(j, &mut parent, &mut order, &mut queue);
+                    }
+                }
+            }
+            for k in 0..self.edges[i].len() {
+                let j = self.edges[i][k];
+                visit(j, &mut parent, &mut order, &mut queue);
+            }
+        }
+        Reach { parent, order }
+    }
+}
+
+impl Reach {
+    /// The call path from a root to `i` as qualified names, e.g.
+    /// `["ScoreEngine::score_queue", "score_batch", "FrozenTables::gather"]`.
+    pub fn path_to(&self, fns: &[FnDef], i: usize) -> Vec<String> {
+        let mut rev = vec![i];
+        let mut cur = i;
+        while let Some(p) = self.parent[cur] {
+            if p == cur {
+                break;
+            }
+            rev.push(p);
+            cur = p;
+        }
+        rev.reverse();
+        rev.into_iter().map(|j| fns[j].qual.clone()).collect()
+    }
+}

@@ -34,6 +34,19 @@ pub struct AllowEntry {
     pub contains: Option<String>,
     /// Mandatory human justification.
     pub reason: String,
+    /// 1-based `audit.toml` line of the `[[allow]]` header — R9 points its
+    /// dead-exemption findings here.
+    pub line: u32,
+}
+
+/// One value of a `[rule.*]` string list, with its `audit.toml` line (the
+/// key's line for multi-line arrays) so R9 findings have an anchor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListItem {
+    /// The string value.
+    pub value: String,
+    /// 1-based `audit.toml` line of the owning key.
+    pub line: u32,
 }
 
 /// Parsed configuration: rule sections (string-list values) + allowlist.
@@ -43,12 +56,12 @@ pub struct Config {
     pub allows: Vec<AllowEntry>,
     /// `[rule.<name>]` sections: rule → key → values (scalars are
     /// single-element lists).
-    pub rules: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    pub rules: BTreeMap<String, BTreeMap<String, Vec<ListItem>>>,
 }
 
 impl Config {
-    /// The string list stored at `[rule.<rule>] <key>`, empty if absent.
-    pub fn rule_list(&self, rule: &str, key: &str) -> &[String] {
+    /// The list stored at `[rule.<rule>] <key>`, empty if absent.
+    pub fn rule_list(&self, rule: &str, key: &str) -> &[ListItem] {
         self.rules
             .get(rule)
             .and_then(|m| m.get(key))
@@ -56,16 +69,37 @@ impl Config {
             .unwrap_or(&[])
     }
 
+    /// The values of `[rule.<rule>] <key>`, without line info.
+    pub fn rule_values(&self, rule: &str, key: &str) -> Vec<&str> {
+        self.rule_list(rule, key)
+            .iter()
+            .map(|i| i.value.as_str())
+            .collect()
+    }
+
     /// True when `path` matches an entry of `[rule.<rule>] <key>` (exact
     /// file, or directory prefix for entries ending in `/`).
     pub fn rule_list_matches(&self, rule: &str, key: &str, path: &str) -> bool {
-        self.rule_list(rule, key).iter().any(|e| path_matches(path, e))
+        self.rule_list_match_idx(rule, key, path).is_some()
+    }
+
+    /// Index of the first `[rule.<rule>] <key>` entry matching `path`.
+    pub fn rule_list_match_idx(&self, rule: &str, key: &str, path: &str) -> Option<usize> {
+        self.rule_list(rule, key)
+            .iter()
+            .position(|e| path_matches(path, &e.value))
     }
 
     /// True when `(rule, path, line_text)` is covered by an `[[allow]]`
     /// entry.
     pub fn is_allowed(&self, rule: &str, path: &str, line_text: &str) -> bool {
-        self.allows.iter().any(|a| {
+        self.allow_match(rule, path, line_text).is_some()
+    }
+
+    /// Index of the first `[[allow]]` entry covering `(rule, path,
+    /// line_text)`.
+    pub fn allow_match(&self, rule: &str, path: &str, line_text: &str) -> Option<usize> {
+        self.allows.iter().position(|a| {
             a.rule == rule
                 && path_matches(path, &a.path)
                 && a.contains.as_deref().is_none_or(|c| line_text.contains(c))
@@ -178,10 +212,13 @@ pub fn parse(src: &str) -> Result<Config, String> {
     let mut section = Section::None;
     // Pending [[allow]] fields, flushed on section change / EOF.
     let mut pending: BTreeMap<String, String> = BTreeMap::new();
+    // Line of the pending entry's `[[allow]]` header.
+    let mut pending_line = 0u32;
 
     fn flush_allow(
         pending: &mut BTreeMap<String, String>,
         allows: &mut Vec<AllowEntry>,
+        line: u32,
     ) -> Result<(), String> {
         if pending.is_empty() {
             return Ok(());
@@ -207,6 +244,7 @@ pub fn parse(src: &str) -> Result<Config, String> {
             path,
             contains,
             reason,
+            line,
         });
         Ok(())
     }
@@ -219,12 +257,13 @@ pub fn parse(src: &str) -> Result<Config, String> {
             continue;
         }
         if l == "[[allow]]" {
-            flush_allow(&mut pending, &mut cfg.allows).map_err(ctx)?;
+            flush_allow(&mut pending, &mut cfg.allows, pending_line).map_err(ctx)?;
+            pending_line = lno as u32 + 1;
             section = Section::Allow;
             continue;
         }
         if let Some(name) = l.strip_prefix("[rule.").and_then(|r| r.strip_suffix(']')) {
-            flush_allow(&mut pending, &mut cfg.allows).map_err(ctx)?;
+            flush_allow(&mut pending, &mut cfg.allows, pending_line).map_err(ctx)?;
             section = Section::Rule(name.to_string());
             cfg.rules.entry(name.to_string()).or_default();
             continue;
@@ -252,14 +291,21 @@ pub fn parse(src: &str) -> Result<Config, String> {
                 pending.insert(key, v);
             }
             Section::Rule(name) => {
+                let items = values
+                    .into_iter()
+                    .map(|value| ListItem {
+                        value,
+                        line: lno as u32 + 1,
+                    })
+                    .collect();
                 cfg.rules
                     .entry(name.clone())
                     .or_default()
-                    .insert(key, values);
+                    .insert(key, items);
             }
         }
     }
-    flush_allow(&mut pending, &mut cfg.allows)?;
+    flush_allow(&mut pending, &mut cfg.allows, pending_line)?;
     Ok(cfg)
 }
 
@@ -308,7 +354,7 @@ reason = "row_of is non-empty by construction"
         )
         .unwrap();
         assert_eq!(
-            cfg.rule_list("no-hashmap-iter", "allowed_in"),
+            cfg.rule_values("no-hashmap-iter", "allowed_in"),
             &["crates/models/src/dien.rs", "crates/data/"]
         );
         assert!(cfg.rule_list_matches(
@@ -346,7 +392,17 @@ reason = "row_of is non-empty by construction"
     #[test]
     fn hash_inside_string_is_not_comment() {
         let cfg = parse("[rule.r]\nkeys = [\"a#b\"]\n").unwrap();
-        assert_eq!(cfg.rule_list("r", "keys"), &["a#b"]);
+        assert_eq!(cfg.rule_values("r", "keys"), &["a#b"]);
+    }
+
+    #[test]
+    fn entries_carry_their_lines() {
+        let cfg = parse(
+            "[rule.r]\nallowed_in = [\"a.rs\"]\n\n[[allow]]\nrule = \"x\"\npath = \"p\"\nreason = \"y\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.rule_list("r", "allowed_in")[0].line, 2);
+        assert_eq!(cfg.allows[0].line, 4);
     }
 
     #[test]

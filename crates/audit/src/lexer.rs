@@ -13,8 +13,8 @@
 //!   `Comment` tokens carrying their full text,
 //! * lifetimes (`'a`) are distinguished from char literals (`'a'`).
 //!
-//! It does not parse: no precedence, no items, no types. Rules operate on
-//! token adjacency plus the brace matching in [`crate::engine`].
+//! It does not parse: no precedence, no items, no types. Item structure is
+//! recovered one layer up by [`crate::syntax`]'s brace-tree parser.
 
 /// Token classification. Granularity is driven by what the rules need.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

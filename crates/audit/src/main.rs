@@ -1,10 +1,12 @@
 //! CLI for the miss-audit static-analysis gate.
 //!
 //! ```text
-//! cargo run -p miss-audit                   # audit the workspace
+//! cargo run -p miss-audit                     # audit the workspace
+//! cargo run -p miss-audit -- --json           # stable JSON report on stdout
+//! cargo run -p miss-audit -- --rule <id>      # only findings of one rule
 //! cargo run -p miss-audit -- --fix-allowlist  # also print paste-ready
 //!                                             # [[allow]] blocks
-//! cargo run -p miss-audit -- --root <dir>   # explicit workspace root
+//! cargo run -p miss-audit -- --root <dir>     # explicit workspace root
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
@@ -26,11 +28,21 @@ fn find_root(start: PathBuf) -> Option<PathBuf> {
 
 fn main() -> ExitCode {
     let mut fix_allowlist = false;
+    let mut json = false;
+    let mut rule_filter: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fix-allowlist" => fix_allowlist = true,
+            "--json" => json = true,
+            "--rule" => match args.next() {
+                Some(r) => rule_filter = Some(r),
+                None => {
+                    eprintln!("miss-audit: --rule needs a rule id");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -40,7 +52,9 @@ fn main() -> ExitCode {
             },
             other => {
                 eprintln!("miss-audit: unknown argument `{other}`");
-                eprintln!("usage: miss-audit [--fix-allowlist] [--root <dir>]");
+                eprintln!(
+                    "usage: miss-audit [--json] [--rule <id>] [--fix-allowlist] [--root <dir>]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -66,13 +80,26 @@ fn main() -> ExitCode {
         }
     };
 
-    let (n_files, findings) = match miss_audit::audit_root(&root, &cfg) {
+    let (n_files, mut findings) = match miss_audit::audit_root(&root, &cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("miss-audit: scan error: {e}");
             return ExitCode::from(2);
         }
     };
+
+    if let Some(rule) = &rule_filter {
+        findings.retain(|f| f.rule == rule);
+    }
+
+    if json {
+        println!("{}", miss_audit::report_json(n_files, &findings));
+        return if findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     if findings.is_empty() {
         println!(

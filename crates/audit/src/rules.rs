@@ -30,6 +30,38 @@ pub struct Violation {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub msg: String,
+    /// For call-graph rules: qualified names from a root to the offender.
+    pub call_path: Vec<String>,
+    /// When set, a `[rule.<rule>] <key>` path entry may suppress this
+    /// candidate; the engine attributes the suppression to the entry so R9
+    /// can prove every exemption still matches something.
+    pub exempt_key: Option<&'static str>,
+}
+
+impl Violation {
+    /// A plain candidate with no call path and no list-exemption key.
+    pub fn new(path: &str, line: u32, rule: &'static str, msg: String) -> Self {
+        Violation {
+            path: path.to_string(),
+            line,
+            rule,
+            msg,
+            call_path: Vec::new(),
+            exempt_key: None,
+        }
+    }
+
+    /// Attach the root→offender call path (R7).
+    pub fn with_call_path(mut self, path: Vec<String>) -> Self {
+        self.call_path = path;
+        self
+    }
+
+    /// Mark this candidate as suppressible by a `[rule.*] <key>` entry.
+    pub fn with_exempt_key(mut self, key: &'static str) -> Self {
+        self.exempt_key = Some(key);
+        self
+    }
 }
 
 /// Everything the rules need to know about one file.
@@ -185,28 +217,28 @@ fn find_test_regions(toks: &[Tok], code: &[usize]) -> Vec<(u32, u32)> {
 /// files — their iteration order is per-process random (`RandomState`), so
 /// any iterated map can leak schedule-independent nondeterminism into
 /// numerics. Test code is exempt; allowlisted files must be lookup-only.
-pub fn no_hashmap_iter(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+pub fn no_hashmap_iter(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<Violation>) {
     const RULE: &str = "no-hashmap-iter";
-    if cfg.rule_list_matches(RULE, "allowed_in", ctx.path) {
-        return;
-    }
     for &i in &ctx.code {
         let t = &ctx.toks[i];
         if t.kind == TokKind::Ident
             && (t.text == "HashMap" || t.text == "HashSet")
             && !ctx.in_test(t.line)
         {
-            out.push(Violation {
-                path: ctx.path.to_string(),
-                line: t.line,
-                rule: RULE,
-                msg: format!(
-                    "`{}` outside allowlisted files: hash iteration order is \
-                     per-process random; use BTreeMap/sorted Vec or add a \
-                     lookup-only exemption in audit.toml",
-                    t.text
-                ),
-            });
+            out.push(
+                Violation::new(
+                    ctx.path,
+                    t.line,
+                    RULE,
+                    format!(
+                        "`{}` outside allowlisted files: hash iteration order is \
+                         per-process random; use BTreeMap/sorted Vec or add a \
+                         lookup-only exemption in audit.toml",
+                        t.text
+                    ),
+                )
+                .with_exempt_key("allowed_in"),
+            );
         }
     }
 }
@@ -215,7 +247,7 @@ pub fn no_hashmap_iter(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
 /// bench timer — bitwise determinism across `MISS_THREADS` forbids reading
 /// time or OS randomness anywhere results can observe. Applies to test code
 /// too (a flaky test is a broken determinism contract).
-pub fn no_wallclock_or_entropy(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+pub fn no_wallclock_or_entropy(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<Violation>) {
     const RULE: &str = "no-wallclock-or-entropy";
     const BANNED: &[&str] = &[
         "Instant",
@@ -227,22 +259,22 @@ pub fn no_wallclock_or_entropy(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violat
         "OsRng",
         "getrandom",
     ];
-    if cfg.rule_list_matches(RULE, "allowed_in", ctx.path) {
-        return;
-    }
     for &i in &ctx.code {
         let t = &ctx.toks[i];
         if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
-            out.push(Violation {
-                path: ctx.path.to_string(),
-                line: t.line,
-                rule: RULE,
-                msg: format!(
-                    "`{}` is a wall-clock/entropy source; only the miss-testkit \
-                     bench timer may read time",
-                    t.text
-                ),
-            });
+            out.push(
+                Violation::new(
+                    ctx.path,
+                    t.line,
+                    RULE,
+                    format!(
+                        "`{}` is a wall-clock/entropy source; only the miss-testkit \
+                         bench timer may read time",
+                        t.text
+                    ),
+                )
+                .with_exempt_key("allowed_in"),
+            );
         }
     }
 }
@@ -250,11 +282,8 @@ pub fn no_wallclock_or_entropy(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violat
 /// R3: raw thread spawning (`thread::spawn`/`scope`/`Builder`) only inside
 /// `crates/parallel` — every other thread would run outside the pool's
 /// deterministic chunking and ordered-reduction contract.
-pub fn no_raw_threads(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+pub fn no_raw_threads(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<Violation>) {
     const RULE: &str = "no-raw-threads";
-    if cfg.rule_list_matches(RULE, "allowed_in", ctx.path) {
-        return;
-    }
     for ci in 0..ctx.code.len().saturating_sub(3) {
         let (Some(a), Some(b), Some(c), Some(d)) =
             (ctx.ct(ci), ctx.ct(ci + 1), ctx.ct(ci + 2), ctx.ct(ci + 3))
@@ -267,16 +296,19 @@ pub fn no_raw_threads(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
             && d.kind == TokKind::Ident
             && matches!(d.text.as_str(), "spawn" | "scope" | "Builder")
         {
-            out.push(Violation {
-                path: ctx.path.to_string(),
-                line: a.line,
-                rule: RULE,
-                msg: format!(
-                    "`thread::{}` outside crates/parallel: all parallelism must \
-                     go through the deterministic miss-parallel pool",
-                    d.text
-                ),
-            });
+            out.push(
+                Violation::new(
+                    ctx.path,
+                    a.line,
+                    RULE,
+                    format!(
+                        "`thread::{}` outside crates/parallel: all parallelism must \
+                         go through the deterministic miss-parallel pool",
+                        d.text
+                    ),
+                )
+                .with_exempt_key("allowed_in"),
+            );
         }
     }
 }
@@ -286,28 +318,29 @@ pub fn no_raw_threads(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
 /// its preconditions. Attribute groups (e.g. `#[target_feature(...)]`) and
 /// same-line statement prefixes (`return unsafe {`) may sit between the
 /// comment and the keyword. Applies everywhere, test code included.
-pub fn safety_comments(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+pub fn safety_comments(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<Violation>) {
     const RULE: &str = "safety-comments";
     for (idx, t) in ctx.toks.iter().enumerate() {
         if !t.is_ident("unsafe") {
             continue;
         }
-        if !cfg.rule_list_matches(RULE, "unsafe_allowed_in", ctx.path) {
-            out.push(Violation {
-                path: ctx.path.to_string(),
-                line: t.line,
-                rule: RULE,
-                msg: "`unsafe` outside the allowlisted kernel/parallel files".to_string(),
-            });
-        }
+        out.push(
+            Violation::new(
+                ctx.path,
+                t.line,
+                RULE,
+                "`unsafe` outside the allowlisted kernel/parallel files".to_string(),
+            )
+            .with_exempt_key("unsafe_allowed_in"),
+        );
         if !has_preceding_safety(ctx.toks, idx) {
-            out.push(Violation {
-                path: ctx.path.to_string(),
-                line: t.line,
-                rule: RULE,
-                msg: "unsafe site without an immediately preceding `// SAFETY:` comment"
+            out.push(Violation::new(
+                ctx.path,
+                t.line,
+                RULE,
+                "unsafe site without an immediately preceding `// SAFETY:` comment"
                     .to_string(),
-            });
+            ));
         }
     }
     // FMA target-feature attributes get the same treatment as the `unsafe`
@@ -330,14 +363,14 @@ pub fn safety_comments(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
             .take_while(|n| !n.is_punct(']'))
             .any(|n| n.kind == TokKind::Str && n.text.contains("fma"));
         if mentions_fma && !has_preceding_safety(ctx.toks, idx - 2) {
-            out.push(Violation {
-                path: ctx.path.to_string(),
-                line: t.line,
-                rule: RULE,
-                msg: "`#[target_feature]` enabling fma without an immediately preceding \
-                      `// SAFETY:` comment stating the cpuid precondition"
+            out.push(Violation::new(
+                ctx.path,
+                t.line,
+                RULE,
+                "`#[target_feature]` enabling fma without an immediately preceding \
+                 `// SAFETY:` comment stating the cpuid precondition"
                     .to_string(),
-            });
+            ));
         }
     }
 }
@@ -414,16 +447,16 @@ pub fn no_float_env(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
         if t.is_ident("as") {
             if let Some(nx) = ctx.ct(ci + 1) {
                 if nx.is_ident("f32") || nx.is_ident("f64") {
-                    out.push(Violation {
-                        path: ctx.path.to_string(),
-                        line: t.line,
-                        rule: RULE,
-                        msg: format!(
+                    out.push(Violation::new(
+                        ctx.path,
+                        t.line,
+                        RULE,
+                        format!(
                             "`as {}` cast in an ordered-reduction path; rounding \
                              here must be explicit and allowlisted",
                             nx.text
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -455,14 +488,14 @@ pub fn no_float_env(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
                 _ => false,
             };
             if lhs_float || rhs_float {
-                out.push(Violation {
-                    path: ctx.path.to_string(),
-                    line: t.line,
-                    rule: RULE,
-                    msg: "raw float-literal comparison in an ordered-reduction path; \
-                          compare via to_bits() or allowlist with justification"
+                out.push(Violation::new(
+                    ctx.path,
+                    t.line,
+                    RULE,
+                    "raw float-literal comparison in an ordered-reduction path; \
+                     compare via to_bits() or allowlist with justification"
                         .to_string(),
-                });
+                ));
             }
         }
     }
@@ -487,17 +520,17 @@ pub fn deny_todo_unwrap(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
         if t.is_punct('.') {
             if let (Some(m), Some(p)) = (ctx.ct(ci + 1), ctx.ct(ci + 2)) {
                 if (m.is_ident("unwrap") || m.is_ident("expect")) && p.is_punct('(') {
-                    out.push(Violation {
-                        path: ctx.path.to_string(),
-                        line: m.line,
-                        rule: RULE,
-                        msg: format!(
+                    out.push(Violation::new(
+                        ctx.path,
+                        m.line,
+                        RULE,
+                        format!(
                             "`.{}(` in a hot-path crate: return/propagate the error, \
                              restructure so the invariant is type-level, or allowlist \
                              with a reason",
                             m.text
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -505,12 +538,12 @@ pub fn deny_todo_unwrap(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
             && matches!(t.text.as_str(), "todo" | "unimplemented" | "dbg")
             && ctx.ct(ci + 1).map(|p| p.is_punct('!')).unwrap_or(false)
         {
-            out.push(Violation {
-                path: ctx.path.to_string(),
-                line: t.line,
-                rule: RULE,
-                msg: format!("`{}!` is banned in hot-path crates", t.text),
-            });
+            out.push(Violation::new(
+                ctx.path,
+                t.line,
+                RULE,
+                format!("`{}!` is banned in hot-path crates", t.text),
+            ));
         }
     }
 }

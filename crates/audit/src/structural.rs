@@ -1,0 +1,139 @@
+//! Structural rules R7–R8, built on the brace-tree parser and call graph.
+//!
+//! | id                    | invariant                                        |
+//! |-----------------------|--------------------------------------------------|
+//! | `panic-free-serving`  | no function reachable from the serving roots may |
+//! |                       | contain `unwrap`/`expect`/`panic!`/`unreachable!`|
+//! |                       | `todo!`/`unimplemented!`/unguarded indexing      |
+//! | `no-alloc-in-hot-loop`| no `Vec::new`/`vec!`/`to_vec`/`clone`/           |
+//! |                       | `with_capacity`/`Box::new` inside loop bodies of |
+//! |                       | profile-scoped hot fns and GEMM kernel fns       |
+//!
+//! Both rules are configured in `audit.toml`:
+//!
+//! ```toml
+//! [rule.panic-free-serving]
+//! roots = ["ScoreEngine::score_queue", "FrozenModel::forward"]
+//!
+//! [rule.no-alloc-in-hot-loop]
+//! scopes = ["serve.gemm", "serve.gather", "serve.epilogue"]
+//! kernel_paths = ["crates/tensor/src/kernels.rs"]
+//! kernel_prefixes = ["gemm_"]
+//! ```
+//!
+//! R9 (`dead-allowlist`) lives in `lib.rs` — it needs the engine's
+//! suppression bookkeeping, not the call graph.
+
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::rules::Violation;
+use crate::syntax::{FnDef, SiteKind};
+
+/// R7: panic-freedom of the serving hot path, proven over the conservative
+/// call graph. Every panic-family site in every function reachable from the
+/// configured roots is a violation; each finding carries the full BFS call
+/// path so the fix (convert to a `MissError` return, or a justified
+/// `[[allow]]`) is mechanical. A root spec that resolves to no function is
+/// itself a violation — a typo here would silently disable the gate.
+pub fn panic_free_serving(graph: &CallGraph, cfg: &Config, out: &mut Vec<Violation>) {
+    const RULE: &str = "panic-free-serving";
+    let specs = cfg.rule_list(RULE, "roots");
+    if specs.is_empty() {
+        return;
+    }
+    let mut roots: Vec<usize> = Vec::new();
+    for item in specs {
+        let ids = graph.resolve_root(&item.value);
+        if ids.is_empty() {
+            out.push(Violation::new(
+                "audit.toml",
+                item.line,
+                RULE,
+                format!(
+                    "serving root `{}` matches no workspace function — the \
+                     panic-freedom gate would be silently disabled",
+                    item.value
+                ),
+            ));
+        }
+        roots.extend(ids);
+    }
+    let reach = graph.reach(&roots);
+    for &i in &reach.order {
+        let f: &FnDef = &graph.fns[i];
+        for site in &f.sites {
+            if !site.kind.is_panic() {
+                continue;
+            }
+            if site.kind == SiteKind::Index && site.guarded {
+                continue;
+            }
+            let path = reach.path_to(graph.fns, i);
+            let what = if site.kind == SiteKind::Index {
+                "unguarded slice indexing".to_string()
+            } else {
+                format!("`{}`", site.what)
+            };
+            out.push(
+                Violation::new(
+                    &f.file,
+                    site.line,
+                    RULE,
+                    format!(
+                        "{what} is reachable from the serving root set via \
+                         {}; a panic here kills the server — return MissError \
+                         or allowlist with a reason",
+                        path.join(" → ")
+                    ),
+                )
+                .with_call_path(path)
+                .with_exempt_key("allowed_in"),
+            );
+        }
+    }
+}
+
+/// R8: allocation-freedom of hot loops. A function is *hot* when it opens
+/// one of the configured `profile::scope(..)` names, or when it lives in a
+/// configured kernel file and its name carries a configured prefix (the
+/// GEMM tile bodies). Inside the lexical loop bodies of hot functions the
+/// allocation family is banned — buffers must be reused arenas hoisted out
+/// of the loop.
+pub fn no_alloc_in_hot_loop(fns: &[FnDef], cfg: &Config, out: &mut Vec<Violation>) {
+    const RULE: &str = "no-alloc-in-hot-loop";
+    let scopes = cfg.rule_list(RULE, "scopes");
+    let prefixes = cfg.rule_list(RULE, "kernel_prefixes");
+    if scopes.is_empty() && prefixes.is_empty() {
+        return;
+    }
+    for f in fns {
+        if f.is_test {
+            continue;
+        }
+        let hot_scope = f
+            .scopes
+            .iter()
+            .find(|s| scopes.iter().any(|item| &item.value == *s));
+        let hot_kernel = cfg.rule_list_matches(RULE, "kernel_paths", &f.file)
+            && prefixes.iter().any(|p| f.name.starts_with(&p.value));
+        let why = match (hot_scope, hot_kernel) {
+            (Some(s), _) => format!("inside profile scope `{s}`"),
+            (None, true) => "a GEMM kernel function".to_string(),
+            (None, false) => continue,
+        };
+        for site in &f.sites {
+            if site.kind.is_alloc() && site.in_loop {
+                out.push(Violation::new(
+                    &f.file,
+                    site.line,
+                    RULE,
+                    format!(
+                        "`{}` in a loop body of `{}` ({why}): hot loops must \
+                         reuse arenas hoisted out of the loop",
+                        site.what, f.qual
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Layer 2 of the analyzer: a brace-tree item parser over the token stream.
+//!
+//! [`crate::lexer`] gives a flat token stream; this module recovers just
+//! enough structure for whole-workspace reasoning: `fn`/`impl`/`trait`/`mod`
+//! nesting, each function's body span, and — per function — its call sites,
+//! panic sites, allocation sites, loop extents and `profile::scope(..)`
+//! markers. It is *not* a Rust parser: no types, no expressions, no
+//! precedence. Everything is driven by token adjacency plus brace/paren
+//! matching, which is exactly the level of structure the call-graph rules
+//! (R7–R9) need and no more.
+//!
+//! Design notes that the rules rely on:
+//!
+//! * **Closures are lexical.** A closure body is part of the enclosing
+//!   function's token range, so a panic inside `par_map(n, |i| …)` is
+//!   attributed to the function that wrote the closure. This is what makes
+//!   by-name call resolution sound without modelling higher-order
+//!   functions: a closure's code is charged to the function that can
+//!   create it.
+//! * **Nested `fn` items** become their own [`FnDef`]s and their tokens are
+//!   *not* charged to the parent (the innermost enclosing `fn` wins).
+//! * **`Self` is resolved** to the enclosing `impl`/`trait` type so
+//!   `Self::new(…)` produces a qualified call site.
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::FileCtx;
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `name(…)`, `.name(…)`, or `name` passed as a function reference —
+    /// resolved against every workspace function with that bare name.
+    Bare(String),
+    /// `Qual::name(…)` with an explicit one-segment qualifier (`Self` is
+    /// already resolved to the impl type).
+    Qualified(String, String),
+    /// `(expr)(…)` / `xs[i](…)` — callee is not a simple path. The call
+    /// graph treats this as reaching *everything* (soundness over
+    /// precision).
+    Indirect,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Who is being called.
+    pub callee: Callee,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Classification of a panic- or allocation-relevant token pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(…)`.
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    PanicMacro,
+    /// `xs[…]` indexing in expression position.
+    Index,
+    /// `Vec::new` / `Box::new`.
+    AllocNew,
+    /// `vec![…]`.
+    AllocVecMacro,
+    /// `.to_vec(…)`.
+    AllocToVec,
+    /// `.clone(…)`.
+    AllocClone,
+    /// `with_capacity(…)` (qualified or method form).
+    AllocWithCapacity,
+}
+
+impl SiteKind {
+    /// True for the panic family (R7 material).
+    pub fn is_panic(self) -> bool {
+        matches!(
+            self,
+            SiteKind::Unwrap | SiteKind::Expect | SiteKind::PanicMacro | SiteKind::Index
+        )
+    }
+
+    /// True for the allocation family (R8 material).
+    pub fn is_alloc(self) -> bool {
+        matches!(
+            self,
+            SiteKind::AllocNew
+                | SiteKind::AllocVecMacro
+                | SiteKind::AllocToVec
+                | SiteKind::AllocClone
+                | SiteKind::AllocWithCapacity
+        )
+    }
+}
+
+/// One panic/alloc site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// What pattern fired.
+    pub kind: SiteKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// The exact token text that fired (`unwrap`, `panic!`, `[`, …).
+    pub what: String,
+    /// True when the site sits inside a `for`/`while`/`loop` body.
+    pub in_loop: bool,
+    /// For [`SiteKind::Index`]: an `assert!`/`debug_assert!` family macro
+    /// appeared earlier in the same function body, i.e. the function
+    /// states *some* bounds precondition before indexing.
+    pub guarded: bool,
+}
+
+/// One recovered function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Repo-relative path of the defining file.
+    pub file: String,
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` inside an `impl`/`trait`, else just `name`.
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the definition sits in test-gated code or a test file.
+    pub is_test: bool,
+    /// Call sites found in the body (closures included, nested fns not).
+    pub calls: Vec<CallSite>,
+    /// Panic/alloc sites found in the body.
+    pub sites: Vec<Site>,
+    /// `profile::scope("…")` names opened anywhere in the body.
+    pub scopes: Vec<String>,
+}
+
+impl FnDef {
+    /// `file:line` anchor for diagnostics.
+    pub fn anchor(&self) -> String {
+        format!("{}:{}", self.file, self.line)
+    }
+}
+
+/// Keywords that must never be read as call/reference identifiers.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "in"
+            | "as"
+            | "move"
+            | "ref"
+            | "mut"
+            | "let"
+            | "pub"
+            | "use"
+            | "mod"
+            | "fn"
+            | "struct"
+            | "enum"
+            | "union"
+            | "trait"
+            | "impl"
+            | "type"
+            | "const"
+            | "static"
+            | "crate"
+            | "super"
+            | "self"
+            | "Self"
+            | "where"
+            | "unsafe"
+            | "dyn"
+            | "async"
+            | "await"
+            | "extern"
+            | "true"
+            | "false"
+    )
+}
+
+/// Scope-stack frame kinds; one frame per `{ … }`.
+#[derive(Debug, Clone)]
+enum Frame {
+    /// `mod name { … }` — transparent for qualification.
+    Mod,
+    /// `impl Type { … }` / `impl Trait for Type { … }` / `trait T { … }`.
+    Type(String),
+    /// A function body; index into the output `Vec<FnDef>`.
+    Fn(usize),
+    /// Loop body (`for`/`while`/`loop`).
+    Loop,
+    /// Any other braced block (`if`, `match`, closures, bare blocks, macro
+    /// braces).
+    Other,
+}
+
+/// Parse every function definition in one file. `ctx` supplies the token
+/// stream, the code-token index and the test-region map.
+pub fn parse_fns(ctx: &FileCtx) -> Vec<FnDef> {
+    let toks = ctx.toks;
+    let code = &ctx.code;
+    let tok = |ci: usize| -> &Tok { &toks[code[ci]] };
+    let n = code.len();
+
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    // Set when a `for`/`while`/`loop` keyword was seen at this paren depth;
+    // the next `{` at that depth opens the loop body.
+    let mut pending_loop: Option<i32> = None;
+    // Set when an `impl`/`trait`/`mod`/`fn` header was just scanned; the
+    // next `{` opens that scope instead of `Other`.
+    let mut pending_frame: Option<Frame> = None;
+    // Per-innermost-fn flag: an assert-family macro has been seen.
+    let mut saw_assert: Vec<bool> = Vec::new();
+    let mut paren_depth: i32 = 0;
+
+    /// The innermost enclosing `Fn` frame, if any.
+    fn cur_fn(stack: &[Frame]) -> Option<usize> {
+        stack.iter().rev().find_map(|f| match f {
+            Frame::Fn(i) => Some(*i),
+            _ => None,
+        })
+    }
+    /// True when a `Loop` frame sits above the innermost `Fn` frame.
+    fn in_loop(stack: &[Frame]) -> bool {
+        for f in stack.iter().rev() {
+            match f {
+                Frame::Loop => return true,
+                Frame::Fn(_) => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+    /// The innermost enclosing type name (`impl`/`trait`), if any.
+    fn cur_type(stack: &[Frame]) -> Option<&str> {
+        stack.iter().rev().find_map(|f| match f {
+            Frame::Type(t) => Some(t.as_str()),
+            _ => None,
+        })
+    }
+
+    let mut ci = 0usize;
+    while ci < n {
+        let t = tok(ci);
+        match t.kind {
+            TokKind::Punct => match t.text.as_str() {
+                "(" => {
+                    // `(expr)(…)` / `xs[i](…)`: indirect call.
+                    if ci > 0 && (tok(ci - 1).is_punct(')') || tok(ci - 1).is_punct(']')) {
+                        if let Some(fi) = cur_fn(&stack) {
+                            fns[fi].calls.push(CallSite {
+                                callee: Callee::Indirect,
+                                line: t.line,
+                            });
+                        }
+                    }
+                    paren_depth += 1;
+                }
+                ")" => paren_depth -= 1,
+                "{" => {
+                    let frame = if pending_loop == Some(paren_depth) {
+                        pending_loop = None;
+                        Frame::Loop
+                    } else {
+                        pending_frame.take().unwrap_or(Frame::Other)
+                    };
+                    stack.push(frame);
+                }
+                "}" => {
+                    if let Some(Frame::Fn(_)) = stack.last() {
+                        saw_assert.pop();
+                    }
+                    stack.pop();
+                }
+                "[" => {
+                    // Expression-position indexing: `ident[`, `)[`, `][`.
+                    let indexable = ci > 0
+                        && match tok(ci - 1) {
+                            p if p.is_punct(')') || p.is_punct(']') => true,
+                            p if p.kind == TokKind::Ident => !is_keyword(&p.text),
+                            _ => false,
+                        };
+                    if indexable {
+                        if let Some(fi) = cur_fn(&stack) {
+                            let guarded = *saw_assert.last().unwrap_or(&false);
+                            fns[fi].sites.push(Site {
+                                kind: SiteKind::Index,
+                                line: t.line,
+                                what: "[".into(),
+                                in_loop: in_loop(&stack),
+                                guarded,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            },
+            TokKind::Ident => {
+                let text = t.text.as_str();
+                let next = |k: usize| -> Option<&Tok> { (ci + k < n).then(|| tok(ci + k)) };
+                let prev_is = |c: char| ci > 0 && tok(ci - 1).is_punct(c);
+                match text {
+                    "impl" => {
+                        // Item-position `impl` block header. (`-> impl
+                        // Trait` return types are consumed by the fn-header
+                        // scanner below and never reach this arm.) Scan to
+                        // the body `{`, tracking `<…>` nesting, and take
+                        // the last angle-depth-0 path segment of the self
+                        // type — the segment after `for` when present
+                        // (`impl Trait for Type`).
+                        let mut k = ci + 1;
+                        let mut angle = 0i32;
+                        // Skip a leading generic-parameter list.
+                        if k < n && tok(k).is_punct('<') {
+                            angle = 1;
+                            k += 1;
+                            while k < n && angle > 0 {
+                                if tok(k).is_punct('<') {
+                                    angle += 1;
+                                } else if tok(k).is_punct('>') {
+                                    angle -= 1;
+                                }
+                                k += 1;
+                            }
+                        }
+                        let mut ty: Option<String> = None;
+                        while k < n {
+                            let s = tok(k);
+                            if s.is_punct('<') {
+                                angle += 1;
+                            } else if s.is_punct('>') {
+                                angle -= 1;
+                            } else if angle == 0 {
+                                if s.is_punct('{') {
+                                    break;
+                                }
+                                if s.is_punct(';') {
+                                    break; // `impl Trait for Type;` — no body
+                                }
+                                if s.is_ident("for") || s.is_ident("where") {
+                                    ty = None; // restart on the `for` target,
+                                               // stop collecting at `where`
+                                    if s.is_ident("where") {
+                                        // Skip to the `{` without collecting.
+                                        while k < n && !tok(k).is_punct('{') {
+                                            k += 1;
+                                        }
+                                        break;
+                                    }
+                                } else if s.kind == TokKind::Ident && !is_keyword(&s.text) {
+                                    ty = Some(s.text.clone());
+                                }
+                            }
+                            k += 1;
+                        }
+                        if k < n && tok(k).is_punct('{') {
+                            pending_frame =
+                                Some(Frame::Type(ty.unwrap_or_else(|| "?".to_string())));
+                            ci = k; // resume at the `{`
+                            continue;
+                        }
+                        ci = k + 1;
+                        continue;
+                    }
+                    "trait" => {
+                        if let Some(name) = next(1).filter(|t| t.kind == TokKind::Ident) {
+                            pending_frame = Some(Frame::Type(name.text.clone()));
+                        }
+                    }
+                    "mod" => {
+                        if next(1).map(|t| t.kind == TokKind::Ident).unwrap_or(false) {
+                            pending_frame = Some(Frame::Mod);
+                        }
+                    }
+                    "for" | "while" | "loop" if cur_fn(&stack).is_some() => {
+                        pending_loop = Some(paren_depth);
+                    }
+                    "fn" => {
+                        // `fn name` is a definition; `fn(` is a fn-pointer
+                        // type and is skipped.
+                        if let Some(name_t) = next(1).filter(|t| t.kind == TokKind::Ident) {
+                            let name = name_t.text.clone();
+                            let qual = match cur_type(&stack) {
+                                Some(ty) => format!("{ty}::{name}"),
+                                None => name.clone(),
+                            };
+                            let def_line = t.line;
+                            // Scan the signature to the body `{` or a
+                            // declaration-ending `;` at bracket depth 0.
+                            let mut k = ci + 2;
+                            let mut pd = 0i32;
+                            let mut has_body = false;
+                            while k < n {
+                                let s = tok(k);
+                                if s.is_punct('(') || s.is_punct('[') {
+                                    pd += 1;
+                                } else if s.is_punct(')') || s.is_punct(']') {
+                                    pd -= 1;
+                                } else if pd == 0 && s.is_punct('{') {
+                                    has_body = true;
+                                    break;
+                                } else if pd == 0 && s.is_punct(';') {
+                                    break;
+                                }
+                                k += 1;
+                            }
+                            fns.push(FnDef {
+                                file: ctx.path.to_string(),
+                                name,
+                                qual,
+                                line: def_line,
+                                is_test: ctx.in_test(def_line),
+                                calls: Vec::new(),
+                                sites: Vec::new(),
+                                scopes: Vec::new(),
+                            });
+                            if has_body {
+                                pending_frame = Some(Frame::Fn(fns.len() - 1));
+                                saw_assert.push(false);
+                                ci = k; // resume at the `{`
+                                continue;
+                            }
+                            ci = k + 1; // past the `;`
+                            continue;
+                        }
+                    }
+                    _ if cur_fn(&stack).is_some() && !is_keyword(text) => {
+                        let fi = cur_fn(&stack).unwrap();
+                        let in_lp = in_loop(&stack);
+                        let nx = next(1);
+                        let nx_is = |c: char| nx.map(|t| t.is_punct(c)).unwrap_or(false);
+                        // Macro invocation: `name!` not followed by `=`
+                        // (which would be `!=`).
+                        let is_macro =
+                            nx_is('!') && !next(2).map(|t| t.is_punct('=')).unwrap_or(false);
+                        if is_macro {
+                            match text {
+                                "panic" | "unreachable" | "todo" | "unimplemented" => {
+                                    fns[fi].sites.push(Site {
+                                        kind: SiteKind::PanicMacro,
+                                        line: t.line,
+                                        what: format!("{text}!"),
+                                        in_loop: in_lp,
+                                        guarded: false,
+                                    });
+                                }
+                                "vec" => {
+                                    fns[fi].sites.push(Site {
+                                        kind: SiteKind::AllocVecMacro,
+                                        line: t.line,
+                                        what: "vec!".into(),
+                                        in_loop: in_lp,
+                                        guarded: false,
+                                    });
+                                }
+                                "assert" | "assert_eq" | "assert_ne" | "debug_assert"
+                                | "debug_assert_eq" | "debug_assert_ne" => {
+                                    if let Some(f) = saw_assert.last_mut() {
+                                        *f = true;
+                                    }
+                                }
+                                _ => {}
+                            }
+                        } else if nx_is('(') {
+                            // A call. Method sites first: panic/alloc
+                            // special forms, then the generic call edge.
+                            if prev_is('.') {
+                                let kind = match text {
+                                    "unwrap" => Some(SiteKind::Unwrap),
+                                    "expect" => Some(SiteKind::Expect),
+                                    "to_vec" => Some(SiteKind::AllocToVec),
+                                    "clone" => Some(SiteKind::AllocClone),
+                                    "with_capacity" => Some(SiteKind::AllocWithCapacity),
+                                    _ => None,
+                                };
+                                if let Some(kind) = kind {
+                                    fns[fi].sites.push(Site {
+                                        kind,
+                                        line: t.line,
+                                        what: format!(".{text}("),
+                                        in_loop: in_lp,
+                                        guarded: false,
+                                    });
+                                }
+                                fns[fi].calls.push(CallSite {
+                                    callee: Callee::Bare(text.to_string()),
+                                    line: t.line,
+                                });
+                            } else {
+                                // Qualified (`Q::name(`) or plain call.
+                                let qual2 = (ci >= 3
+                                    && tok(ci - 1).is_punct(':')
+                                    && tok(ci - 2).is_punct(':')
+                                    && tok(ci - 3).kind == TokKind::Ident)
+                                    .then(|| tok(ci - 3).text.clone());
+                                let callee = match qual2 {
+                                    Some(q) => {
+                                        let q = if q == "Self" {
+                                            cur_type(&stack).unwrap_or("Self").to_string()
+                                        } else {
+                                            q
+                                        };
+                                        if (q == "Vec" || q == "Box") && text == "new" {
+                                            fns[fi].sites.push(Site {
+                                                kind: SiteKind::AllocNew,
+                                                line: t.line,
+                                                what: format!("{q}::new"),
+                                                in_loop: in_lp,
+                                                guarded: false,
+                                            });
+                                        }
+                                        Callee::Qualified(q, text.to_string())
+                                    }
+                                    None => {
+                                        if text == "with_capacity" {
+                                            fns[fi].sites.push(Site {
+                                                kind: SiteKind::AllocWithCapacity,
+                                                line: t.line,
+                                                what: "with_capacity(".into(),
+                                                in_loop: in_lp,
+                                                guarded: false,
+                                            });
+                                        }
+                                        Callee::Bare(text.to_string())
+                                    }
+                                };
+                                // `profile::scope("name")` marker.
+                                if text == "scope" {
+                                    if let Some(s) =
+                                        next(2).filter(|t| t.kind == TokKind::Str)
+                                    {
+                                        fns[fi].scopes.push(str_content(&s.text));
+                                    }
+                                }
+                                fns[fi].calls.push(CallSite {
+                                    callee,
+                                    line: t.line,
+                                });
+                            }
+                        } else if (nx_is(')') || nx_is(',')) && !prev_is('.') {
+                            // Possible function reference in argument
+                            // position (`par_map(n, f)`); the call graph
+                            // drops names that match no workspace fn.
+                            fns[fi].calls.push(CallSite {
+                                callee: Callee::Bare(text.to_string()),
+                                line: t.line,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        ci += 1;
+    }
+    fns
+}
+
+/// Strip the surrounding quotes (and any raw/byte prefix) off a lexed
+/// string token, returning its raw content.
+pub fn str_content(text: &str) -> String {
+    let inner = text.trim_start_matches(|c| c != '"');
+    inner
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(inner)
+        .to_string()
+}

@@ -1,0 +1,289 @@
+//! Fixture battery for the scope-aware analyzer (syntax → call graph →
+//! R7/R8/R9), driven through the public [`miss_audit::audit_files`] entry
+//! point on in-memory workspaces. scripts/ci.sh runs these by name.
+
+use miss_audit::{audit_files, config, Finding};
+
+/// Minimal R7 config rooting the graph at `serve`.
+const R7: &str = "[rule.panic-free-serving]\nroots = [\"serve\"]\n";
+
+fn run(cfg_src: &str, files: &[(&str, &str)]) -> Vec<Finding> {
+    let cfg = config::parse(cfg_src).expect("fixture config parses");
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    audit_files(&owned, &cfg)
+}
+
+fn rule_findings<'a>(fs: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    fs.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn multi_hop_call_path_is_reported() {
+    let src = r#"
+pub fn serve() { middle(); }
+fn middle() { inner(); }
+fn inner() { let x: Option<u32> = None; x.unwrap(); }
+"#;
+    let fs = run(R7, &[("src/a.rs", src)]);
+    let r7 = rule_findings(&fs, "panic-free-serving");
+    assert_eq!(r7.len(), 1, "{fs:?}");
+    assert_eq!(r7[0].call_path, vec!["serve", "middle", "inner"]);
+    assert_eq!(r7[0].line, 4);
+    assert!(r7[0].msg.contains("serve → middle → inner"), "{}", r7[0].msg);
+}
+
+#[test]
+fn nested_closures_attribute_sites_to_enclosing_fn() {
+    // The unwrap lives two closures deep inside `inner`; lexical
+    // attribution must charge it to `inner`, which is reached from the
+    // root only through a fn-reference edge (`apply(inner)` — `inner`
+    // never appears in call position).
+    let src = r#"
+pub fn serve() { apply(inner); }
+fn apply(f: fn(u32)) { f(1); }
+fn inner(x: u32) {
+    let run = |a: u32| {
+        let deeper = |b: u32| -> u32 { Some(b).unwrap() };
+        deeper(a)
+    };
+    run(x);
+}
+fn bystander() { let v: Option<u32> = None; v.expect("never reached"); }
+"#;
+    let fs = run(R7, &[("src/a.rs", src)]);
+    let r7 = rule_findings(&fs, "panic-free-serving");
+    assert_eq!(r7.len(), 1, "{fs:?}");
+    assert_eq!(r7[0].call_path, vec!["serve", "inner"]);
+    assert_eq!(r7[0].line, 6, "charged to the closure's enclosing fn");
+}
+
+#[test]
+fn impl_trait_fns_parse_and_reach() {
+    let src = r#"
+pub fn serve() { let _ = first(make(3)); }
+fn make(n: u32) -> impl Iterator<Item = u32> { (0..n).map(|i| i * 2) }
+fn first(it: impl Iterator<Item = u32>) -> u32 {
+    let mut it = it;
+    it.next().unwrap()
+}
+"#;
+    let fs = run(R7, &[("src/a.rs", src)]);
+    let r7 = rule_findings(&fs, "panic-free-serving");
+    assert_eq!(r7.len(), 1, "{fs:?}");
+    assert_eq!(r7[0].call_path, vec!["serve", "first"]);
+}
+
+#[test]
+fn macro_heavy_bodies_flag_panics_and_respect_assert_guards() {
+    let src = r#"
+pub fn serve() {
+    let xs = vec![1u32, 2, 3];
+    let msg = format!("{} items", xs.len());
+    log(&msg);
+    guarded(&xs);
+    boom(xs.len());
+}
+fn log(_m: &str) {}
+fn guarded(xs: &[u32]) {
+    assert!(xs.len() > 1, "need at least two");
+    let _ = xs[0] + xs[1];
+}
+fn boom(n: usize) { if n > 9000 { panic!("too many: {n}") } }
+"#;
+    let fs = run(R7, &[("src/a.rs", src)]);
+    let r7 = rule_findings(&fs, "panic-free-serving");
+    // Only the panic! fires: the indexing in `guarded` sits behind an
+    // assert, and vec!/format! in the root are not panic sites.
+    assert_eq!(r7.len(), 1, "{fs:?}");
+    assert_eq!(r7[0].call_path, vec!["serve", "boom"]);
+    assert!(r7[0].msg.contains("panic!"), "{}", r7[0].msg);
+}
+
+#[test]
+fn unguarded_indexing_is_flagged() {
+    let src = r#"
+pub fn serve(xs: &[u32]) -> u32 { xs[0] }
+"#;
+    let fs = run(R7, &[("src/a.rs", src)]);
+    let r7 = rule_findings(&fs, "panic-free-serving");
+    assert_eq!(r7.len(), 1, "{fs:?}");
+    assert!(r7[0].msg.contains("unguarded slice indexing"), "{}", r7[0].msg);
+}
+
+#[test]
+fn qualified_calls_resolve_strictly_to_known_types() {
+    // Two `convert` impls: only Safe::convert is called, so Risky::convert's
+    // unwrap must NOT be reported.
+    let src = r#"
+pub struct Safe;
+pub struct Risky;
+impl Safe { pub fn convert(x: u32) -> u32 { x + 1 } }
+impl Risky { pub fn convert(x: u32) -> u32 { Some(x).unwrap() } }
+pub fn serve() { let _ = Safe::convert(7); }
+"#;
+    let fs = run(R7, &[("src/a.rs", src)]);
+    assert!(rule_findings(&fs, "panic-free-serving").is_empty(), "{fs:?}");
+}
+
+#[test]
+fn bare_method_calls_reach_every_same_name_fn() {
+    // Dynamic-dispatch soundness: `.convert(` must reach both impls.
+    let files = [
+        (
+            "src/a.rs",
+            r#"
+pub fn serve(v: &V) { v.convert(); }
+pub struct V;
+impl V { pub fn convert(&self) {} }
+"#,
+        ),
+        (
+            "src/b.rs",
+            r#"
+pub struct Other;
+impl Other { pub fn convert(&self) { let x: Option<u8> = None; x.unwrap(); } }
+"#,
+        ),
+    ];
+    let fs = run(R7, &files);
+    let r7 = rule_findings(&fs, "panic-free-serving");
+    assert_eq!(r7.len(), 1, "{fs:?}");
+    assert_eq!(r7[0].path, "src/b.rs");
+    assert_eq!(
+        r7[0].call_path.last().map(String::as_str),
+        Some("Other::convert")
+    );
+}
+
+#[test]
+fn indirect_calls_reach_everything() {
+    let src = r#"
+pub fn serve(fs: &[fn()]) { (fs[0])(); }
+fn anywhere() { let x: Option<u8> = None; x.unwrap(); }
+"#;
+    let fs = run(R7, &[("src/a.rs", src)]);
+    let r7 = rule_findings(&fs, "panic-free-serving");
+    // The indirect call makes `anywhere` reachable; the `fs[0]` index in
+    // the root is also unguarded. Both must surface.
+    assert!(
+        r7.iter().any(|f| f.call_path.last().map(String::as_str) == Some("anywhere")),
+        "{fs:?}"
+    );
+}
+
+#[test]
+fn test_code_is_excluded_from_the_graph() {
+    let src = r#"
+pub fn serve() { helper(); }
+fn helper() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helper() { Option::<u8>::None.unwrap(); }
+}
+"#;
+    let fs = run(R7, &[("src/a.rs", src)]);
+    assert!(rule_findings(&fs, "panic-free-serving").is_empty(), "{fs:?}");
+}
+
+#[test]
+fn unresolvable_root_is_itself_a_violation() {
+    let cfg = "[rule.panic-free-serving]\nroots = [\"NoSuchType::no_such_fn\"]\n";
+    let fs = run(cfg, &[("src/a.rs", "pub fn serve() {}\n")]);
+    let r7 = rule_findings(&fs, "panic-free-serving");
+    assert_eq!(r7.len(), 1, "{fs:?}");
+    assert_eq!(r7[0].path, "audit.toml");
+    assert!(r7[0].msg.contains("NoSuchType::no_such_fn"), "{}", r7[0].msg);
+}
+
+#[test]
+fn hot_loop_allocations_are_flagged_in_scoped_fns() {
+    let cfg = "[rule.no-alloc-in-hot-loop]\nscopes = [\"serve.gemm\"]\n";
+    let src = r#"
+pub fn kernel(n: usize) -> Vec<Vec<u32>> {
+    let _s = profile::scope("serve.gemm");
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let row = vec![0u32; i];
+        out.push(row.clone());
+    }
+    out
+}
+pub fn cold(n: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.extend(vec![i as u32]);
+    }
+    out
+}
+"#;
+    let fs = run(cfg, &[("src/a.rs", src)]);
+    let r8 = rule_findings(&fs, "no-alloc-in-hot-loop");
+    // vec! and .clone( inside the hot loop fire; the pre-loop
+    // with_capacity and everything in the unscoped `cold` do not.
+    assert_eq!(r8.len(), 2, "{fs:?}");
+    assert!(r8.iter().all(|f| f.msg.contains("serve.gemm")), "{fs:?}");
+}
+
+#[test]
+fn kernel_prefix_fns_are_hot_without_scopes() {
+    let cfg = "[rule.no-alloc-in-hot-loop]\nkernel_paths = [\"src/kern.rs\"]\nkernel_prefixes = [\"gemm_\"]\n";
+    let src = r#"
+pub fn gemm_tile(n: usize) {
+    for _ in 0..n {
+        let _scratch: Vec<f32> = Vec::new();
+    }
+}
+"#;
+    let fs = run(cfg, &[("src/kern.rs", src)]);
+    let r8 = rule_findings(&fs, "no-alloc-in-hot-loop");
+    assert_eq!(r8.len(), 1, "{fs:?}");
+    assert!(r8[0].msg.contains("GEMM kernel"), "{}", r8[0].msg);
+}
+
+#[test]
+fn dead_allowlist_entries_are_flagged() {
+    let cfg = r#"
+[rule.panic-free-serving]
+roots = ["serve"]
+allowed_in = ["src/training/"]
+
+[rule.dead-allowlist]
+
+[[allow]]
+rule = "panic-free-serving"
+path = "src/a.rs"
+contains = "nothing matches this"
+reason = "rotted on purpose for the fixture"
+"#;
+    let fs = run(cfg, &[("src/a.rs", "pub fn serve() {}\n")]);
+    let r9 = rule_findings(&fs, "dead-allowlist");
+    // Both the unused allowed_in entry and the unused [[allow]] block rot.
+    assert_eq!(r9.len(), 2, "{fs:?}");
+    assert!(r9.iter().all(|f| f.path == "audit.toml"), "{fs:?}");
+}
+
+#[test]
+fn live_allowlist_entries_suppress_and_survive_r9() {
+    let cfg = r#"
+[rule.panic-free-serving]
+roots = ["serve"]
+allowed_in = ["src/training/"]
+
+[rule.dead-allowlist]
+"#;
+    let files = [
+        ("src/a.rs", "pub fn serve() { train(); }\n"),
+        (
+            "src/training/t.rs",
+            "pub fn train() { Option::<u8>::None.unwrap(); }\n",
+        ),
+    ];
+    let fs = run(cfg, &files);
+    // The training-side unwrap is suppressed by allowed_in, and because
+    // that entry suppressed something, R9 stays quiet.
+    assert!(fs.is_empty(), "{fs:?}");
+}

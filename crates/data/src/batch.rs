@@ -67,6 +67,7 @@ impl Batch {
 
     /// History length of sample `i` (count of real positions).
     pub fn hist_len(&self, i: usize) -> usize {
+        debug_assert!(i < self.size, "sample index {i} out of a {}-sample batch", self.size);
         self.mask[i * self.seq_len..(i + 1) * self.seq_len]
             .iter()
             .filter(|&&m| m > 0.0)
@@ -120,6 +121,7 @@ impl<'a> Iterator for BatchIter<'a> {
             return None;
         }
         let end = (self.pos + self.batch_size).min(self.order.len());
+        debug_assert!(self.pos <= end, "pos only advances to clamped ends");
         let refs: Vec<&Sample> = self.order[self.pos..end]
             .iter()
             .map(|&i| &self.samples[i])

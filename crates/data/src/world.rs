@@ -234,6 +234,10 @@ impl World {
 
     /// Item attribute lookup (1-based id).
     pub fn item(&self, id: u32) -> &Item {
+        debug_assert!(
+            id >= 1 && (id as usize) <= self.items.len(),
+            "item ids are generated 1..=num_items by this simulator"
+        );
         &self.items[(id - 1) as usize]
     }
 }

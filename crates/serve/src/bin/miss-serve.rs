@@ -129,7 +129,13 @@ fn latency_samples(engine: &ScoreEngine<'_>, stream: &[ScoreRequest]) -> Vec<u64
     let mut lat = Vec::with_capacity(stream.len());
     for (r0, r1) in engine.form_batches(stream) {
         let t0 = Instant::now();
-        black_box(engine.score_queue(&stream[r0..r1]));
+        match engine.score_queue(&stream[r0..r1]) {
+            Ok(scores) => black_box(scores),
+            Err(err) => {
+                eprintln!("miss-serve: {err}");
+                exit(err.exit_code())
+            }
+        };
         let ns = t0.elapsed().as_nanos() as u64;
         for _ in r0..r1 {
             lat.push(ns);
@@ -194,8 +200,14 @@ fn main() {
     for mb in max_batches(&args) {
         let engine = ScoreEngine::new(&frozen, mb);
         // Warm up allocators, panel caches, and the thread pool outside the
-        // timed region.
-        black_box(engine.score_queue(&stream));
+        // timed region; a scoring error on the generated stream is fatal.
+        match engine.score_queue(&stream) {
+            Ok(scores) => black_box(scores),
+            Err(err) => {
+                eprintln!("miss-serve: {err}");
+                exit(err.exit_code())
+            }
+        };
         let case = if mb == 1 {
             "queue_solo_mb1".to_string()
         } else {

@@ -19,7 +19,7 @@
 use crate::freeze::FrozenModel;
 use miss_data::{Batch, Sample, Schema, ScoreRequest};
 use miss_trainer::EvalResult;
-use miss_util::profile;
+use miss_util::{profile, MissError, MissResult};
 
 /// Micro-batching scoring engine over a frozen model.
 pub struct ScoreEngine<'a> {
@@ -68,28 +68,53 @@ impl<'a> ScoreEngine<'a> {
     /// Batches score concurrently over the `miss-parallel` pool and the
     /// per-batch score vectors concatenate in batch order, so the output is
     /// bit-identical for any `MISS_THREADS` value *and* any `max_batch`.
-    pub fn score_queue(&self, requests: &[ScoreRequest]) -> Vec<f32> {
+    ///
+    /// A malformed request ([`MissError::BadRequest`]: wrong field arity,
+    /// or an id outside its vocabulary) is a typed error, never a panic —
+    /// deterministically the error of the *earliest* offending batch, for
+    /// any thread count.
+    pub fn score_queue(&self, requests: &[ScoreRequest]) -> MissResult<Vec<f32>> {
         let batches = self.form_batches(requests);
         let per_batch = miss_parallel::par_map(batches.len(), |bi| {
+            // form_batches yields in-range, contiguous [r0, r1) windows.
+            debug_assert!(bi < batches.len());
             let (r0, r1) = batches[bi];
             self.score_batch(&requests[r0..r1])
         });
-        let mut all = Vec::with_capacity(per_batch.iter().map(Vec::len).sum());
+        let mut all = Vec::new();
         for v in per_batch {
-            all.extend_from_slice(&v);
+            all.extend_from_slice(&v?);
         }
-        all
+        Ok(all)
     }
 
-    /// Score one formed batch: assemble, forward, sigmoid.
-    fn score_batch(&self, requests: &[ScoreRequest]) -> Vec<f32> {
+    /// Score one formed batch: validate, assemble, forward, sigmoid.
+    fn score_batch(&self, requests: &[ScoreRequest]) -> MissResult<Vec<f32>> {
+        let schema = self.model.schema();
+        for (ri, r) in requests.iter().enumerate() {
+            for s in &r.samples {
+                // Batch::from_samples asserts these arities (its callers
+                // hand it trusted dataset samples); requests are untrusted,
+                // so reject with a typed error before assembly.
+                if s.cat.len() != schema.num_cat() || s.hist.len() != schema.num_seq() {
+                    return Err(MissError::bad_request(format!(
+                        "request {ri}: sample has {} categorical / {} sequential \
+                         fields, schema has {} / {}",
+                        s.cat.len(),
+                        s.hist.len(),
+                        schema.num_cat(),
+                        schema.num_seq()
+                    )));
+                }
+            }
+        }
         let refs: Vec<&Sample> = requests.iter().flat_map(|r| r.samples.iter()).collect();
-        let batch = Batch::from_samples(&refs, self.model.schema());
-        let logits = self.model.forward(&batch);
+        let batch = Batch::from_samples(&refs, schema);
+        let logits = self.model.forward(&batch)?;
         let _ep = profile::scope("serve.epilogue");
         let mut out = Vec::with_capacity(refs.len());
         miss_util::sigmoid_extend(logits.as_slice(), &mut out);
-        out
+        Ok(out)
     }
 }
 
@@ -102,16 +127,16 @@ fn frozen_scores(
     samples: &[Sample],
     schema: &Schema,
     batch_size: usize,
-) -> Vec<f32> {
+) -> MissResult<Vec<f32>> {
     assert!(batch_size > 0, "batch_size must be positive");
     let n = samples.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let nb = n.div_ceil(batch_size);
     let chunk = miss_parallel::fixed_chunk_len(nb, 1);
     let n_chunks = nb.div_ceil(chunk);
-    let per_chunk = miss_parallel::par_map(n_chunks, |ci| {
+    let per_chunk = miss_parallel::par_map(n_chunks, |ci| -> MissResult<Vec<f32>> {
         let b0 = ci * chunk;
         let b1 = (b0 + chunk).min(nb);
         let mut out = Vec::with_capacity((b1 - b0) * batch_size);
@@ -120,31 +145,33 @@ fn frozen_scores(
             let hi = (lo + batch_size).min(n);
             let refs: Vec<&Sample> = samples[lo..hi].iter().collect();
             let batch = Batch::from_samples(&refs, schema);
-            let logits = model.forward(&batch);
+            let logits = model.forward(&batch)?;
             miss_util::sigmoid_extend(logits.as_slice(), &mut out);
         }
-        out
+        Ok(out)
     });
     let mut all = Vec::with_capacity(n);
     for v in per_chunk {
+        let v: Vec<f32> = v?;
         all.extend_from_slice(&v);
     }
-    all
+    Ok(all)
 }
 
 /// AUC / Logloss over a split through the frozen forward. Bit-identical to
 /// `miss_trainer::evaluate` on the store the model froze from, without
-/// re-packing GEMM panels on every batch.
+/// re-packing GEMM panels on every batch. Errors if the split does not
+/// match the frozen schema (a dataset/checkpoint mismatch).
 pub fn evaluate_frozen(
     model: &FrozenModel,
     samples: &[Sample],
     schema: &Schema,
     batch_size: usize,
-) -> EvalResult {
-    let scores = frozen_scores(model, samples, schema, batch_size);
+) -> MissResult<EvalResult> {
+    let scores = frozen_scores(model, samples, schema, batch_size)?;
     let labels: Vec<f32> = samples.iter().map(|s| s.label).collect();
-    EvalResult {
+    Ok(EvalResult {
         auc: miss_metrics::auc(&scores, &labels),
         logloss: miss_metrics::logloss(&scores, &labels),
-    }
+    })
 }

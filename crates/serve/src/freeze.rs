@@ -104,6 +104,7 @@ impl FrozenMlp {
     /// `serve.gemm`.
     pub(crate) fn forward(&self, x: &Tensor) -> Tensor {
         let _gemm = miss_util::profile::scope("serve.gemm");
+        debug_assert!(!self.layers.is_empty(), "freeze() rejects zero-layer MLPs");
         let mut h = self.layers[0].forward(x);
         for layer in &self.layers[1..] {
             h = layer.forward(&h);
@@ -191,11 +192,23 @@ impl FrozenTables {
     }
 
     /// Row-gather a vocabulary's table — bit-identical to the training
-    /// path's `EmbeddingTable::gather`.
-    pub(crate) fn gather(&self, vocab: usize, ids: &[u32]) -> Tensor {
+    /// path's `EmbeddingTable::gather`, but fallible: the ids arrive in
+    /// untrusted score requests and the vocab index comes from an untrusted
+    /// checkpoint's schema, so both are checked into typed errors instead
+    /// of panics. Gathers straight off the `u32` ids — no per-call index
+    /// buffer.
+    pub(crate) fn gather(&self, vocab: usize, ids: &[u32]) -> MissResult<Tensor> {
         let _g = miss_util::profile::scope("serve.gather");
-        let idx: Vec<usize> = ids.iter().map(|&i| i as usize).collect();
-        self.tables[vocab].gather_rows(&idx)
+        let table = self.tables.get(vocab).ok_or_else(|| {
+            MissError::corrupt(
+                "params",
+                format!(
+                    "schema names vocabulary {vocab} but only {} tables froze",
+                    self.tables.len()
+                ),
+            )
+        })?;
+        table.try_gather_rows_u32(ids)
     }
 }
 

@@ -65,7 +65,8 @@ fn frozen_forward_bitwise_matches_graph() {
                     let batch = batch_of(&dataset.test[lo..hi], &dataset.schema);
                     let want = graph_logits(model.as_ref(), &store, &batch);
                     for threads in [1usize, 2, 4] {
-                        let got = miss_parallel::with_threads(threads, || frozen.forward(&batch));
+                        let got = miss_parallel::with_threads(threads, || frozen.forward(&batch))
+                            .expect("frozen forward");
                         assert_eq!(
                             got.as_slice(),
                             &want[..],
@@ -94,7 +95,7 @@ fn frozen_forward_matches_graph_at_odd_widths() {
             let frozen = FrozenModel::freeze(&store, &dataset.schema, arch).unwrap();
             let batch = batch_of(&dataset.test[..n], &dataset.schema);
             let want = graph_logits(model.as_ref(), &store, &batch);
-            let got = frozen.forward(&batch);
+            let got = frozen.forward(&batch).expect("frozen forward");
             assert_eq!(
                 got.as_slice(),
                 &want[..],
@@ -128,12 +129,17 @@ fn micro_batching_never_changes_a_score() {
         // Ground truth: every request scored entirely alone.
         let mut solo = Vec::new();
         for r in &stream {
-            solo.extend(ScoreEngine::new(&frozen, 1).score_queue(std::slice::from_ref(r)));
+            solo.extend(
+                ScoreEngine::new(&frozen, 1)
+                    .score_queue(std::slice::from_ref(r))
+                    .expect("solo scoring"),
+            );
         }
         for mb in [1usize, 3, 8, 64, 4096] {
             let engine = ScoreEngine::new(&frozen, mb);
             for threads in [1usize, 2, 4] {
-                let got = miss_parallel::with_threads(threads, || engine.score_queue(&stream));
+                let got = miss_parallel::with_threads(threads, || engine.score_queue(&stream))
+                    .expect("queue scoring");
                 assert_eq!(
                     got, solo,
                     "{} mb={mb} threads={threads}",
@@ -168,7 +174,8 @@ fn frozen_eval_matches_graph_eval() {
             let frozen = FrozenModel::freeze(&store, &dataset.schema, arch).unwrap();
             for bs in [13usize, 64] {
                 let want = evaluate(model.as_ref(), &store, &dataset.test, &dataset.schema, bs);
-                let got = evaluate_frozen(&frozen, &dataset.test, &dataset.schema, bs);
+                let got = evaluate_frozen(&frozen, &dataset.test, &dataset.schema, bs)
+                    .expect("frozen eval");
                 assert_eq!(got, want, "{} bs={bs}", base.label());
             }
         }
@@ -189,8 +196,8 @@ fn codec_round_trip_freezes_identically() {
             assert!(progress.is_none());
             let batch = batch_of(&dataset.test[..dataset.test.len().min(32)], &dataset.schema);
             assert_eq!(
-                loaded.forward(&batch).as_slice(),
-                direct.forward(&batch).as_slice(),
+                loaded.forward(&batch).unwrap().as_slice(),
+                direct.forward(&batch).unwrap().as_slice(),
                 "{} round-trip",
                 base.label()
             );

@@ -460,6 +460,10 @@ impl GemmEpilogue<'_> {
     /// The transform applied to one finished accumulator for column `j`.
     #[inline(always)]
     fn apply(&self, j: usize, acc: f32) -> f32 {
+        debug_assert!(
+            self.bias().is_none_or(|b| j < b.len()),
+            "bias width was validated against n before entering the kernel"
+        );
         match *self {
             GemmEpilogue::None => acc,
             GemmEpilogue::AddBias(b) => acc + b[j],

@@ -288,6 +288,27 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edges_at_n1_and_n2() {
+        // n = 1: nearest-rank clamps every percentile to the only sample —
+        // the degenerate shape record_case sees when a queue forms exactly
+        // one batch.
+        let s = summarise("n1", &mut vec![42]);
+        assert_eq!(s.iters, 1);
+        assert_eq!(s.median_ns, 42);
+        assert_eq!(s.p99_ns, 42);
+        assert_eq!((s.min_ns, s.max_ns), (42, 42));
+
+        // n = 2: the median (p50) averages the pair, while nearest-rank
+        // p95/p99 round up to the larger sample.
+        let s = summarise("n2", &mut vec![30, 10]);
+        assert_eq!(s.iters, 2);
+        assert_eq!(s.median_ns, 20);
+        assert_eq!(s.p95_ns, 30);
+        assert_eq!(s.p99_ns, 30);
+        assert_eq!((s.min_ns, s.max_ns), (10, 30));
+    }
+
+    #[test]
     fn record_case_summarises_external_samples() {
         let mut g = BenchGroup::new("unit3");
         let mut times: Vec<u64> = (1..=100).rev().collect();

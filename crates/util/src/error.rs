@@ -75,6 +75,14 @@ pub enum MissError {
         /// What was found non-finite (e.g. `"minibatch 17 loss"`).
         context: String,
     },
+    /// A serving-time score request failed validation: wrong field arity
+    /// for the schema, or an embedding id outside its vocabulary. The
+    /// request is rejected and the server keeps running — requests are
+    /// untrusted input just like checkpoints (DESIGN.md §10).
+    BadRequest {
+        /// What was wrong with the request.
+        context: String,
+    },
     /// An underlying I/O failure (file missing, permission, disk).
     Io(std::io::Error),
 }
@@ -95,6 +103,13 @@ impl MissError {
         }
     }
 
+    /// Shorthand constructor for [`MissError::BadRequest`].
+    pub fn bad_request(context: impl Into<String>) -> Self {
+        MissError::BadRequest {
+            context: context.into(),
+        }
+    }
+
     /// Process exit code for this failure class, shared by every binary so
     /// scripts can branch on *why* a run died (documented in `miss-train
     /// --help` and README):
@@ -105,6 +120,8 @@ impl MissError {
     ///   help; point the run at a different checkpoint.
     /// * `4` — environment: underlying I/O failure (`Io`). Often transient.
     /// * `5` — numerics: the NaN/Inf guard aborted the run (`NonFinite`).
+    /// * `6` — bad score request: a serving input failed validation
+    ///   (`BadRequest`). Reject the request, not the process.
     ///
     /// (`0` is success and `2` is a usage error, per convention.)
     pub fn exit_code(&self) -> i32 {
@@ -116,6 +133,7 @@ impl MissError {
             | MissError::ShapeMismatch { .. } => 3,
             MissError::Io(_) => 4,
             MissError::NonFinite { .. } => 5,
+            MissError::BadRequest { .. } => 6,
         }
     }
 }
@@ -152,6 +170,9 @@ impl fmt::Display for MissError {
             ),
             MissError::NonFinite { context } => {
                 write!(f, "non-finite value rejected: {context}")
+            }
+            MissError::BadRequest { context } => {
+                write!(f, "bad score request: {context}")
             }
             MissError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -220,6 +241,12 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         assert_eq!(MissError::Io(io).exit_code(), 4);
         assert_eq!(MissError::non_finite("loss").exit_code(), 5);
+        assert_eq!(MissError::bad_request("id 9 out of vocab").exit_code(), 6);
+        assert!(
+            MissError::bad_request("id 9 out of vocab")
+                .to_string()
+                .contains("bad score request"),
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 /// relative order (stable), which makes downstream behaviour deterministic.
 pub fn argsort_desc(xs: &[f32]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
+    debug_assert_eq!(idx.len(), xs.len(), "comparator indices are drawn from idx");
     idx.sort_by(|&a, &b| xs[b].partial_cmp(&xs[a]).unwrap_or(std::cmp::Ordering::Equal));
     idx
 }

@@ -28,7 +28,9 @@ impl Categorical {
             *c /= acc;
         }
         // Guard against floating point drift at the top end.
-        *cdf.last_mut().unwrap() = 1.0;
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
         Categorical { cdf }
     }
 

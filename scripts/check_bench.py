@@ -38,10 +38,13 @@ Usage: scripts/check_bench.py <fresh.json> <baseline.json> [tolerance]
                               [--require-ratio <a> <b> <r>]...
                               [--max-ratio <case> <r>]...
        scripts/check_bench.py --update-baseline <baseline.json> <fresh.json>...
+       scripts/check_bench.py --self-test
 """
 
 import json
+import subprocess
 import sys
+import tempfile
 
 
 def load(path):
@@ -109,14 +112,124 @@ def pop_flag(args, flag, nargs):
     while flag in args:
         i = args.index(flag)
         if i + nargs >= len(args):
-            sys.exit(f"{flag} needs {nargs} argument(s)")
+            sys.exit(f"ERROR: {flag} needs {nargs} argument(s)")
         found.append(tuple(args[i + 1 : i + 1 + nargs]))
         del args[i : i + 1 + nargs]
     return found
 
 
+def parse_float(flag, text):
+    """A bound for a gate flag must parse as a number; a typo'd bound must
+    be a named error, not a ValueError traceback (tracebacks read as tool
+    crashes, and a crash in the middle of CI invites a blind re-run)."""
+    try:
+        return float(text)
+    except ValueError:
+        sys.exit(f"ERROR: {flag} bound `{text}` is not a number")
+
+
+def self_test():
+    """Pytest-free self-test: drive this script as a subprocess over tiny
+    synthetic bench documents and assert on exit codes and named errors.
+    Run by scripts/ci.sh; exits 0 on success."""
+
+    def doc(group, **cases):
+        return {
+            "group": group,
+            "cases": [{"name": n, "median_ns": m} for n, m in cases.items()],
+        }
+
+    def run(files, argv):
+        with tempfile.TemporaryDirectory() as td:
+            paths = []
+            for i, content in enumerate(files):
+                p = f"{td}/f{i}.json"
+                with open(p, "w") as f:
+                    json.dump(content, f)
+                paths.append(p)
+            cmd = [sys.executable, __file__] + [
+                paths[a] if isinstance(a, int) else a for a in argv
+            ]
+            return subprocess.run(cmd, capture_output=True, text=True)
+
+    checks = [
+        (
+            "clean pass",
+            run([doc("g", a=100), doc("g", a=100)], [0, 1]),
+            lambda r: r.returncode == 0 and "bench gate passed" in r.stdout,
+        ),
+        (
+            "regression fails",
+            run([doc("g", a=200), doc("g", a=100)], [0, 1, "0.25"]),
+            lambda r: r.returncode == 1 and "REGRESSION" in r.stdout,
+        ),
+        (
+            "slack tolerance passes the same ratio",
+            run([doc("g", a=200), doc("g", a=100)], [0, 1, "1.5"]),
+            lambda r: r.returncode == 0,
+        ),
+        (
+            "malformed --require-ratio bound is a named error",
+            run(
+                [doc("g", a=100, b=50), doc("g", a=100)],
+                [0, 1, "--require-ratio", "a", "b", "fast"],
+            ),
+            lambda r: r.returncode != 0
+            and "--require-ratio bound `fast` is not a number" in r.stderr,
+        ),
+        (
+            "truncated --require-ratio is a named error",
+            run([doc("g", a=100), doc("g", a=100)], [0, 1, "--require-ratio", "a"]),
+            lambda r: r.returncode != 0 and "--require-ratio needs 3" in r.stderr,
+        ),
+        (
+            "--require-ratio gates the fresh pair",
+            run(
+                [doc("g", slow=100, fastc=80), doc("g", slow=100)],
+                [0, 1, "--require-ratio", "fastc", "slow", "0.5"],
+            ),
+            lambda r: r.returncode == 1 and "exceeds --require-ratio" in r.stderr,
+        ),
+        (
+            "baseline missing the fresh group is a named error",
+            run(
+                [doc("serving", a=100), {"groups": [doc("kernels", k=10)]}],
+                [0, 1],
+            ),
+            lambda r: r.returncode == 1 and "nothing to gate against" in r.stderr,
+        ),
+        (
+            "empty baseline case list is a named error",
+            run([doc("g", a=100), {"group": "g", "cases": []}], [0, 1]),
+            lambda r: r.returncode == 1 and "nothing to gate against" in r.stderr,
+        ),
+        (
+            "malformed tolerance is a named error",
+            run([doc("g", a=100), doc("g", a=100)], [0, 1, "loose"]),
+            lambda r: r.returncode != 0
+            and "tolerance bound `loose` is not a number" in r.stderr,
+        ),
+    ]
+    failed = 0
+    for name, result, ok in checks:
+        status = "ok" if ok(result) else "FAIL"
+        if status == "FAIL":
+            failed += 1
+            sys.stderr.write(
+                f"self-test FAIL: {name}\n  rc={result.returncode}\n"
+                f"  stdout: {result.stdout!r}\n  stderr: {result.stderr!r}\n"
+            )
+        print(f"self-test {name:<48} {status}")
+    if failed:
+        sys.exit(f"{failed} self-test case(s) failed")
+    print(f"check_bench self-test passed ({len(checks)} cases)")
+
+
 def main():
     args = sys.argv[1:]
+    if args and args[0] == "--self-test":
+        self_test()
+        return
     if args and args[0] == "--update-baseline":
         if len(args) < 3:
             sys.exit("--update-baseline needs <baseline.json> <fresh.json>...")
@@ -125,18 +238,35 @@ def main():
 
     required = [a[0] for a in pop_flag(args, "--require", 1)]
     faster = pop_flag(args, "--require-faster", 2)
-    pair_ratios = [(a, b, float(r)) for a, b, r in pop_flag(args, "--require-ratio", 3)]
-    ratios = [(case, float(r)) for case, r in pop_flag(args, "--max-ratio", 2)]
+    pair_ratios = [
+        (a, b, parse_float("--require-ratio", r))
+        for a, b, r in pop_flag(args, "--require-ratio", 3)
+    ]
+    ratios = [
+        (case, parse_float("--max-ratio", r))
+        for case, r in pop_flag(args, "--max-ratio", 2)
+    ]
     if len(args) < 2:
         sys.exit(__doc__)
     fresh_path, base_path = args[0], args[1]
-    tolerance = float(args[2]) if len(args) > 2 else 0.25
+    tolerance = parse_float("tolerance", args[2]) if len(args) > 2 else 0.25
 
     fresh_doc = load(fresh_path)
     fresh_group = fresh_doc.get("group") if "groups" not in fresh_doc else None
     fresh = medians(fresh_path)
     base = medians(base_path, only_group=fresh_group)
     hard_errors = []
+
+    # An empty baseline side means every regression comparison below would
+    # be silently skipped and the gate would "pass" having checked nothing —
+    # the exact failure mode after a group rename or a truncated baseline
+    # commit. Name it and fail.
+    if not base:
+        hard_errors.append(
+            f"baseline {base_path} has no cases for group "
+            f"`{fresh_group or '<any>'}` — nothing to gate against "
+            "(refresh it with --update-baseline)"
+        )
 
     for name in required:
         if name not in fresh:

@@ -43,7 +43,8 @@ impl Args {
         self.values
             .iter()
             .position(|a| a == flag)
-            .map(|i| self.values[i + 1].as_str())
+            .and_then(|i| self.values.get(i + 1))
+            .map(String::as_str)
     }
 
     fn has(&self, flag: &str) -> bool {
@@ -180,7 +181,18 @@ fn main() {
                         if let Some(p) = progress {
                             println!("checkpoint at epoch {} (adam step {})", p.epoch, p.step);
                         }
-                        miss::serve::evaluate_frozen(&frozen, &dataset.test, &dataset.schema, 256)
+                        match miss::serve::evaluate_frozen(
+                            &frozen,
+                            &dataset.test,
+                            &dataset.schema,
+                            256,
+                        ) {
+                            Ok(r) => r,
+                            Err(err) => {
+                                eprintln!("miss-train: {err}");
+                                exit(err.exit_code())
+                            }
+                        }
                     }
                     Err(err) => {
                         eprintln!("miss-train: {err}");
